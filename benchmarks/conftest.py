@@ -1,0 +1,27 @@
+"""Shared benchmark plumbing.
+
+Every bench regenerates one of the paper's tables/figures via its
+``repro.experiments`` runner, prints the regenerated rows (run pytest
+with ``-s`` to see them), and asserts the paper's *shape* -- who wins,
+by roughly what factor -- so a bench run doubles as a reproduction
+check.  Wall-clock numbers reported by pytest-benchmark measure the
+simulation cost itself.
+"""
+
+import pytest
+
+
+def run_and_report(benchmark, runner, *args, **kwargs):
+    """Benchmark ``runner`` once and print its table."""
+    result = benchmark.pedantic(runner, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    print(result.format_table())
+    return result
+
+
+@pytest.fixture
+def report(benchmark):
+    def _report(runner, *args, **kwargs):
+        return run_and_report(benchmark, runner, *args, **kwargs)
+
+    return _report

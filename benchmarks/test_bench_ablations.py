@@ -1,0 +1,99 @@
+"""Ablation benches: design choices swept beyond the paper's tables.
+
+Each quantifies one of the paper's qualitative claims or section 8.1
+future-work directions; see ``repro.experiments.ablations``.
+"""
+
+from repro.experiments import (
+    run_alpha_sweep,
+    run_cc_comparison,
+    run_ecn_sweep,
+    run_gbn_waste,
+    run_interdc_distance,
+    run_routing_models,
+    run_tcp_flavours,
+)
+
+
+def test_bench_ablation_congestion_control(report):
+    """None vs DCQCN vs TIMELY: "the lessons ... apply to the networks
+    using TIMELY as well" -- both controllers keep queues short enough
+    that PFC barely fires."""
+    result = report(run_cc_comparison)
+    rows = {r["cc"]: r for r in result.rows()}
+    assert rows["dcqcn"]["pause_frames"] < rows["none"]["pause_frames"] / 10
+    assert rows["timely"]["pause_frames"] < rows["none"]["pause_frames"] / 10
+    assert rows["dcqcn"]["probe_p99_us"] < rows["none"]["probe_p99_us"]
+    assert rows["timely"]["probe_p99_us"] < rows["none"]["probe_p99_us"]
+    assert all(r["drops"] == 0 for r in result.rows())
+    assert rows["dcqcn"]["ecn_marks"] > 0
+    assert rows["timely"]["ecn_marks"] == 0  # RTT-driven, no ECN needed
+
+
+def test_bench_ablation_alpha_sweep(report):
+    """The section 6.2 parameter, swept: thresholds scale with alpha and
+    the incident regime (alpha <= 1/32) storms while 1/16+ absorbs."""
+    result = report(run_alpha_sweep)
+    rows = {r["alpha"]: r for r in result.rows()}
+    thresholds = [rows["1/%d" % d]["threshold_kb"] for d in (64, 32, 16, 8, 4)]
+    assert thresholds == sorted(thresholds)
+    assert rows["1/64"]["pause_frames"] > 1000
+    assert rows["1/16"]["pause_frames"] == 0
+    assert all(r["drops"] == 0 for r in result.rows())
+
+
+def test_bench_ablation_ecn_kmin(report):
+    """Section 2's rationale for DCQCN, quantified: earlier ECN marking
+    (smaller Kmin) trades marks for pauses."""
+    result = report(run_ecn_sweep)
+    rows = result.rows()
+    pauses = [r["pause_frames"] for r in rows]
+    marks = [r["ecn_marks"] for r in rows]
+    # Kmin ascending: pauses rise, marks fall.
+    assert pauses == sorted(pauses)
+    assert marks == sorted(marks, reverse=True)
+
+
+def test_bench_ablation_gbn_waste(report):
+    """Section 4.1's accepted cost: go-back-N wastes up to RTT x C per
+    drop, so the waste grows with distance."""
+    result = report(run_gbn_waste)
+    rows = result.rows()
+    waste = [r["waste_per_drop_packets"] for r in rows]
+    assert waste == sorted(waste)
+    assert waste[-1] > 10 * waste[0]
+    # Goodput survives everywhere (no livelock), merely degrades.
+    assert all(r["goodput_gbps"] > 20 for r in rows)
+
+
+def test_bench_ablation_routing_models(report):
+    """Section 8.1: per-packet spraying / MPTCP-class load balancing
+    would recover the ~40% that ECMP hash collisions cost figure 7."""
+    result = report(run_routing_models)
+    rows = {r["model"]: r for r in result.rows()}
+    deployed = rows["ecmp+pfc (deployed)"]
+    future = rows["per-packet spraying (future work)"]
+    assert 0.55 <= deployed["utilization"] <= 0.72
+    assert future["utilization"] > 0.95
+
+
+def test_bench_ablation_tcp_flavours(report):
+    """Reno vs DCTCP in the lossy TCP class: reacting to CE marks before
+    the queue overflows removes most incast drops (the fix the paper's
+    companion ECN-tuning work [38] points toward)."""
+    result = report(run_tcp_flavours)
+    rows = {r["flavour"]: r for r in result.rows()}
+    assert rows["dctcp"]["drops"] < rows["reno"]["drops"]
+    assert rows["dctcp"]["ce_acks"] > 0
+    assert rows["reno"]["ce_acks"] == 0
+    assert rows["dctcp"]["delivered"] >= rows["reno"]["delivered"]
+
+
+def test_bench_ablation_interdc_distance(report):
+    """Section 8.1: "the hop-by-hop distance for PFC is limited to 300
+    meters" -- headroom growth makes lossless inter-DC links absurd."""
+    result = report(run_interdc_distance)
+    rows = {r["distance_m"]: r for r in result.rows()}
+    assert rows[300]["pgs_per_9mb_buffer"] >= 64  # a full switch works
+    assert rows[100_000]["pgs_per_9mb_buffer"] <= 2  # one PG per buffer!
+    assert rows[100_000]["headroom_per_pg_mb"] > 4

@@ -1,0 +1,26 @@
+"""E8 bench -- figure 10: the alpha = 1/64 buffer misconfiguration.
+
+Paper: two ToRs hosting chatty (incast-heavy) servers shipped with
+alpha = 1/64 instead of 1/16; the tiny dynamic threshold turned routine
+incast into pause storms that inflated latency fleet-wide.  Config
+monitoring catches the drift; retuning alpha fixes it.
+"""
+
+from repro.experiments import run_buffer_misconfig
+from repro.sim.units import MS
+
+
+def test_bench_buffer_alpha(report):
+    result = report(run_buffer_misconfig, duration_ns=25 * MS)
+    by_alpha = {r["alpha"]: r for r in result.rows()}
+    bad = by_alpha["1/64"]
+    good = by_alpha["1/16"]
+    # The misconfigured threshold is ~4x smaller and pauses pour out.
+    assert bad["threshold_kb"] < good["threshold_kb"] / 3
+    assert bad["tor_pauses_sent"] > 50
+    assert good["tor_pauses_sent"] < bad["tor_pauses_sent"] / 10
+    # Collateral damage on the latency-sensitive victim service.
+    assert bad["victim_p99_us"] > 2 * good["victim_p99_us"]
+    # The config-monitoring service flags exactly the drifted device.
+    assert len(result.config_drifts) == 1
+    assert result.config_drifts[0].field == "buffer_alpha"

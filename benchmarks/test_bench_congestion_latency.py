@@ -1,0 +1,23 @@
+"""E6 bench -- figure 8: RDMA latency before/after saturating load.
+
+Paper: p99 jumps 50 -> 400 us and p99.9 80 -> 800 us once the cross-ToR
+load starts; the TCP class's p99 is unchanged (separate queues); no
+packets drop.
+"""
+
+from repro.experiments import run_congestion_latency
+from repro.sim.units import MS
+
+
+def test_bench_congestion_latency(report):
+    result = report(run_congestion_latency, phase_ns=30 * MS)
+    by_phase = {r["phase"]: r for r in result.rows()}
+    idle = by_phase["idle"]
+    loaded = by_phase["loaded"]
+    # Figure 8's jump: several-fold at both percentiles.
+    assert loaded["rdma_p99_us"] > 4 * idle["rdma_p99_us"]
+    assert loaded["rdma_p99.9_us"] > 4 * idle["rdma_p99.9_us"]
+    # Lossless held: no drops anywhere.
+    assert loaded["drops"] == 0
+    # The TCP class rode a different queue: same band before and after.
+    assert loaded["tcp_p99_us"] < 3 * idle["tcp_p99_us"]

@@ -1,0 +1,22 @@
+"""E10 bench -- section 1: CPU overhead of TCP vs RDMA.
+
+Paper: 40 Gb/s over 8 TCP connections costs 6% (send) / 12% (receive)
+of a 32-core Xeon E5-2690; RDMA moves the work to the NIC ("CPU
+utilization close to 0%").
+"""
+
+import pytest
+
+from repro.experiments import run_cpu_overhead
+
+
+def test_bench_cpu_overhead(report):
+    result = report(run_cpu_overhead)
+    by_rate = {r["rate_gbps"]: r for r in result.rows()}
+    at_40g = by_rate[40]
+    assert at_40g["tcp_send_cpu_pct"] == pytest.approx(6.0, rel=0.05)
+    assert at_40g["tcp_recv_cpu_pct"] == pytest.approx(12.0, rel=0.05)
+    assert at_40g["rdma_cpu_pct"] == 0.0
+    # Linear scaling: the planned 100 GbE upgrade makes TCP untenable.
+    at_100g = by_rate[100]
+    assert at_100g["tcp_recv_cpu_pct"] == pytest.approx(30.0, rel=0.05)

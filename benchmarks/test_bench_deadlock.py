@@ -1,0 +1,24 @@
+"""E2 bench -- figure 4's PFC deadlock and the incomplete-ARP drop fix.
+
+Paper: flooding + PFC forms a pause loop across T0, La, T1, Lb that
+"does not go away even if we restart all the servers"; dropping lossless
+packets on incomplete ARP entries prevents it.
+"""
+
+from repro.experiments import run_deadlock
+from repro.sim.units import MS
+
+
+def test_bench_deadlock(report):
+    result = report(run_deadlock, duration_ns=8 * MS)
+    by_scenario = {r["scenario"]: r for r in result.rows()}
+    flooding = by_scenario["flooding"]
+    fixed = by_scenario["arp-drop-fix"]
+    assert flooding["deadlocked"]
+    assert flooding["persists_after_restart"]
+    assert flooding["switches_in_cycle"] == 4
+    assert not fixed["deadlocked"]
+    assert fixed["incomplete_arp_drops"] > 0
+    # The healthy flow makes more progress once flooding cannot jam the
+    # fabric.
+    assert fixed["healthy_flow_messages"] > flooding["healthy_flow_messages"]

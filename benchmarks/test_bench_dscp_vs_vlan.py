@@ -1,0 +1,27 @@
+"""E9 bench -- section 3: DSCP-based vs VLAN-based PFC.
+
+Paper: VLAN-based PFC forces trunk-mode server ports (breaking PXE boot)
+and loses the PCP priority across subnet boundaries; DSCP-based PFC
+fixes both with a data-packet-format change only.
+"""
+
+from repro.experiments import run_dscp_vs_vlan
+
+
+def test_bench_dscp_vs_vlan(report):
+    result = report(run_dscp_vs_vlan)
+    by_design = {r["design"]: r for r in result.rows()}
+    vlan = by_design["vlan-pfc"]
+    dscp = by_design["dscp-pfc"]
+    # Problem 1: PXE boot.
+    assert vlan["pxe_boot"] == "broken-trunk-port"
+    assert dscp["pxe_boot"] == "success"
+    # Problem 2: priority across subnets -- RDMA gets dropped under
+    # congestion once the PCP is gone; DSCP keeps it lossless.
+    assert vlan["cross_subnet_rdma_drops"] > 0
+    assert dscp["cross_subnet_rdma_drops"] == 0
+    assert vlan["naks"] > 0
+    assert dscp["naks"] == 0
+    # The design validators agree with the experiments.
+    assert vlan["validation_problems"] == 2
+    assert dscp["validation_problems"] == 0

@@ -1,0 +1,22 @@
+"""E11 bench -- section 2: PFC headroom and the two-class limit.
+
+Paper: headroom scales with cable length (up to 300 m) and rate; the
+9/12 MB shallow buffers afford only **two** lossless classes fabric-wide
+at 40 GbE, not the eight PFC nominally supports.
+"""
+
+from repro.experiments import run_headroom
+
+
+def test_bench_headroom(report):
+    result = report(run_headroom)
+    rows = result.rows()
+    fabric = {r["rate_gbps"]: r for r in rows if r["switch"] == "fabric-wide"}
+    # The paper's two lossless classes at 40 GbE.
+    assert fabric[40]["lossless_classes"] == 2
+    # Tighter at 100 GbE (the upgrade the paper plans).
+    assert fabric[100]["lossless_classes"] < fabric[40]["lossless_classes"]
+    # Headroom grows with cable length within a rate.
+    leaf_40 = next(r for r in rows if r["rate_gbps"] == 40 and r["switch"] == "Leaf")
+    tor_40 = next(r for r in rows if r["rate_gbps"] == 40 and r["switch"] == "ToR")
+    assert leaf_40["headroom_per_pg_kb"] > tor_40["headroom_per_pg_kb"]

@@ -1,0 +1,22 @@
+"""E1 bench -- section 4.1's livelock experiment.
+
+Paper: with a deterministic 1/256 drop, go-back-0 gives zero goodput at
+full line rate for SEND, WRITE and READ; go-back-N restores throughput.
+"""
+
+from repro.experiments import run_livelock
+from repro.sim.units import MS
+
+
+def test_bench_livelock(report):
+    result = report(run_livelock, duration_ns=10 * MS)
+    rows = {(r["operation"], r["recovery"]): r for r in result.rows()}
+    for operation in ("send", "write", "read"):
+        gb0 = rows[(operation, "go-back-0")]
+        gbn = rows[(operation, "go-back-n")]
+        # Livelock: zero goodput, busy link.
+        assert gb0["goodput_gbps"] == 0.0
+        assert gb0["link_utilization"] > 0.9
+        # The fix: substantial goodput despite the same drops.
+        assert gbn["goodput_gbps"] > 20
+        assert gbn["naks"] > 0

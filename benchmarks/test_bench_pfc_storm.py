@@ -1,0 +1,22 @@
+"""E3 bench -- figures 5 and 9: the NIC PFC pause frame storm.
+
+Paper: one malfunctioning NIC blocks the whole fabric; the NIC-side and
+switch-side watchdogs confine the damage to the victim.
+"""
+
+from repro.experiments import run_storm
+
+
+def test_bench_pfc_storm(report):
+    result = report(run_storm)
+    by_mode = {r["watchdogs"]: r for r in result.rows()}
+    off = by_mode["off"]
+    on = by_mode["on"]
+    # Unprotected: the storm blocks (essentially) everything.
+    assert off["flows_blocked"] == off["flows_total"]
+    assert off["storm_gbps_total"] < 0.05 * off["baseline_gbps_total"]
+    # Watchdogs: only the victim's flows suffer; the fabric keeps moving.
+    assert on["nic_watchdog_tripped"] >= 1
+    assert on["switch_watchdog_trips"] >= 1
+    assert on["flows_blocked"] <= 3
+    assert on["storm_gbps_total"] > 0.5 * on["baseline_gbps_total"]

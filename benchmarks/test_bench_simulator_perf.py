@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the simulator itself.
+
+Not paper reproductions: these measure the cost of the substrate so
+regressions in simulation speed are caught (the experiment benches
+above are only as usable as the simulator is fast).
+"""
+
+from repro.rdma import connect_qp_pair, post_send
+from repro.sim import SeededRng, Simulator
+from repro.sim.units import KB, MB, MS
+from repro.topo import single_switch, two_tier
+
+
+def test_bench_engine_event_throughput(benchmark):
+    """Raw event dispatch: schedule+fire 100k chained events."""
+
+    def run():
+        sim = Simulator()
+        remaining = [100_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(10, tick)
+
+        sim.schedule(0, tick)
+        sim.run_until_idle()
+        return sim.events_fired
+
+    fired = benchmark(run)
+    assert fired == 100_000
+
+
+def test_bench_single_switch_packet_rate(benchmark):
+    """End-to-end packets through NIC -> switch -> NIC (4 MB transfer)."""
+
+    def run():
+        topo = single_switch(n_hosts=2).boot()
+        rng = SeededRng(1, "perf")
+        qp, _ = connect_qp_pair(topo.hosts[0], topo.hosts[1], rng)
+        wr = post_send(qp, 4 * MB)
+        topo.sim.run(until=topo.sim.now + 3 * MS)
+        assert wr.completed
+        return qp.stats.data_packets_sent
+
+    packets = benchmark(run)
+    assert packets == 4096
+
+
+def test_bench_fabric_boot(benchmark):
+    """Topology construction + ARP convergence for a two-tier pod."""
+
+    def run():
+        topo = two_tier(n_tors=4, hosts_per_tor=8, n_leaves=4).boot()
+        return len(topo.hosts)
+
+    hosts = benchmark(run)
+    assert hosts == 32
+
+
+def test_bench_flow_model_full_scale(benchmark):
+    """The figure 7 flow-level evaluation at full paper scale."""
+    from repro.flows import ClosFlowModel
+
+    def run():
+        return ClosFlowModel(seed=1).run().utilization
+
+    utilization = benchmark(run)
+    assert 0.5 < utilization < 0.75

@@ -1,0 +1,28 @@
+"""E7 bench -- section 4.4: the slow-receiver symptom.
+
+Paper: MTT misses stall the NIC receive pipeline and generate pause
+frames with no real congestion anywhere.  2 MB pages eliminate the
+misses; dynamic switch buffering absorbs the remaining pauses locally
+instead of propagating them.
+"""
+
+from repro.experiments import run_slow_receiver
+from repro.sim.units import MS
+
+
+def test_bench_slow_receiver(report):
+    result = report(run_slow_receiver, duration_ns=8 * MS)
+    rows = {(r["page_size"], r["switch_buffer"]): r for r in result.rows()}
+    bad = rows[("4KB", "static")]
+    absorbed = rows[("4KB", "dynamic")]
+    paged = rows[("2MB", "static")]
+    # The symptom: thrashing MTT, NIC pausing its ToR, pause propagation.
+    assert bad["mtt_miss_rate"] > 0.2
+    assert bad["nic_pauses_per_ms"] > 5
+    assert bad["tor_pauses_to_leaf"] > 0
+    # Mitigation 1: 2 MB pages kill the misses and the pauses.
+    assert paged["mtt_miss_rate"] < 0.01
+    assert paged["nic_pauses_per_ms"] == 0
+    # Mitigation 2: dynamic buffer absorbs the pauses locally.
+    assert absorbed["nic_pauses_per_ms"] > 5  # NIC still pauses...
+    assert absorbed["tor_pauses_to_leaf"] < bad["tor_pauses_to_leaf"] / 10

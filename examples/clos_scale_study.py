@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Figure 7 at full scale, plus what-if studies the paper invites.
+
+The flow-level model evaluates the paper's 1152-server experiment (3072
+saturating QPs over 128 leaf-spine 40 GbE links) in milliseconds, so it
+is cheap to ask follow-up questions:
+
+* how does utilization move with more QPs per server (more ECMP
+  entropy)?
+* what would ideal per-bottleneck fairness (no PFC coupling) recover?
+* where do the hottest links sit?
+
+Run:  python examples/clos_scale_study.py
+"""
+
+from repro.flows import ClosFlowModel
+
+
+def main():
+    base = ClosFlowModel(seed=1)
+    result = base.run()
+    ideal = base.run("maxmin")
+    print("Figure 7 reproduction (flow level, full paper scale):")
+    print("  QPs                 : %d" % len(result.rates_bps))
+    print("  aggregate throughput: %.2f Tb/s (paper: 3.0)" % (result.aggregate_bps / 1e12))
+    print("  utilization         : %.0f%% of 5.12 Tb/s (paper: 60%%)" % (100 * result.utilization))
+    print("  per-server          : %.1f Gb/s (paper: ~8)" % result.per_server_gbps())
+    print("  frames/second       : %.0fM (1086-byte frames)" % (result.frames_per_second() / 1e6))
+    print("  idealized max-min   : %.0f%% (what hash placement alone would allow)"
+          % (100 * ideal.utilization))
+
+    loads = sorted(result.leaf_spine_link_loads().values())
+    print("  leaf-spine link load: min %.0f%% / median %.0f%% / max %.0f%%"
+          % (100 * loads[0], 100 * loads[len(loads) // 2], 100 * loads[-1]))
+
+    print("\nECMP entropy study -- QPs per server vs utilization:")
+    for qps in (1, 2, 4, 8, 16, 32):
+        u = ClosFlowModel(qps_per_server=qps, seed=3).run().utilization
+        bar = "#" * int(u * 40)
+        print("  %2d QPs/server: %4.0f%%  %s" % (qps, 100 * u, bar))
+    print(
+        "\nMore QPs per server = more five-tuple entropy = a smoother"
+        "\nhash spread over the 128 links; the paper's 8 QPs per server"
+        "\nsit on the flat part of the curve -- the residual ~40%% loss"
+        "\nis the collision floor ECMP cannot shake off."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""The operations story (paper section 5): configure, monitor, catch drift.
+
+Builds a two-tier fabric, deploys DSCP-based PFC with the paper's full
+safety profile, then walks the management loop:
+
+1. declare the desired configuration and verify fleet compliance;
+2. inject the section 6.2 misconfiguration (a new switch model running
+   alpha = 1/64) and catch it as drift;
+3. run RDMA Pingmesh continuously and read fleet latency percentiles;
+4. watch PFC counters (pause frames and pause intervals).
+
+Run:  python examples/fabric_operations.py
+"""
+
+from repro.core import DscpPfcDesign, paper_safe_profile
+from repro.monitoring import ConfigMonitor, CounterCollector, DesiredConfig, Pingmesh
+from repro.rdma import connect_qp_pair
+from repro.sim import SeededRng
+from repro.sim.units import KB, MS, US
+from repro.switch.buffer import BufferConfig
+from repro.topo import two_tier
+from repro.workloads import ClosedLoopSender, RdmaChannel
+
+
+def main():
+    design = DscpPfcDesign(lossless_priorities=(3, 4))
+    profile = paper_safe_profile()
+    topo = two_tier(
+        n_tors=2,
+        hosts_per_tor=4,
+        n_leaves=2,
+        seed=9,
+        pfc_config=design.pfc_config(),
+        buffer_config=profile.buffer_config(),
+        forwarding_kwargs=profile.forwarding_kwargs(),
+    ).boot()
+    profile.apply_to_topology(topo)
+    sim, fabric = topo.sim, topo.fabric
+    rng = SeededRng(9, "ops")
+
+    desired = DesiredConfig.from_design(design, buffer_alpha=profile.buffer_alpha)
+    monitor = ConfigMonitor(desired)
+    print("1. Compliance check after deployment: %d drift(s)"
+          % len(monitor.check_fabric(fabric)))
+
+    # The section 6.2 incident: a new switch model with a silent default.
+    topo.tors[1].buffer_config = BufferConfig(alpha=1.0 / 64)
+    drifts = monitor.check_fabric(fabric)
+    print("2. After onboarding a new switch model : %d drift(s)" % len(drifts))
+    for drift in drifts:
+        print("     %r" % drift)
+    topo.tors[1].buffer_config = profile.buffer_config()  # remediate
+
+    # Background service load + Pingmesh.
+    t0_hosts, t1_hosts = topo.hosts_by_tor
+    for i in range(2):
+        qp, _ = connect_qp_pair(t0_hosts[i], t1_hosts[i], rng)
+        ClosedLoopSender(RdmaChannel(qp), 256 * KB).start()
+    pingmesh = Pingmesh(sim, rng.child("pm"), interval_ns=1 * MS)
+    pingmesh.add_pair(t0_hosts[3], t1_hosts[3])
+    pingmesh.start()
+    collector = CounterCollector(sim, fabric, interval_ns=2 * MS).start()
+    sim.run(until=sim.now + 40 * MS)
+    pingmesh.stop()
+    collector.stop()
+
+    print("3. Pingmesh over 40 ms of production-like load:")
+    print("     probes  : %d (error rate %.1f%%)"
+          % (len(pingmesh.results), 100 * pingmesh.error_rate()))
+    print("     RTT p50 : %6.1f us" % pingmesh.rtt_percentile_us(50))
+    print("     RTT p99 : %6.1f us" % pingmesh.rtt_percentile_us(99))
+
+    print("4. PFC counters (cumulative):")
+    for device, pauses in collector.totals_at_end("pause_tx").items():
+        if pauses:
+            print("     %-8s sent %5d pause frames" % (device, pauses))
+    host = t1_hosts[0]
+    print("     %-8s cumulative paused interval: %.1f us"
+          % (host.name, host.nic.port.paused_interval_ns() / US))
+    print("     fabric-wide drops: %d (lossless holding)" % fabric.total_drops())
+
+
+if __name__ == "__main__":
+    main()

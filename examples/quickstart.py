@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: two servers, one switch, RDMA over lossless Ethernet.
+
+Builds the smallest possible RoCEv2 deployment, moves 64 MB with RDMA
+SEND/WRITE/READ, and shows the properties the paper leads with: line-rate
+goodput, zero packet loss (PFC), and microsecond latency.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.monitoring import Pingmesh
+from repro.rdma import connect_qp_pair, post_read, post_send, post_write
+from repro.sim import SeededRng
+from repro.sim.units import MB, MS, US, fmt_rate
+from repro.topo import single_switch
+
+
+def main():
+    # 1. A fabric: servers S0 and S1 under one ToR, 40 GbE everywhere.
+    topo = single_switch(n_hosts=2, seed=42).boot()
+    sim = topo.sim
+    s0, s1 = topo.hosts
+    rng = SeededRng(42, "quickstart")
+
+    # 2. A reliable-connected queue pair between them.
+    qp, _peer_qp = connect_qp_pair(s0, s1, rng)
+
+    # 3. Post verbs work requests: SEND, WRITE and READ.
+    done = []
+    post_send(qp, 32 * MB, on_complete=lambda wr, t: done.append(("send", t)))
+    post_write(qp, 16 * MB, on_complete=lambda wr, t: done.append(("write", t)))
+    post_read(qp, 16 * MB, on_complete=lambda wr, t: done.append(("read", t)))
+
+    # 4. Latency probes riding the same lossless class (RDMA Pingmesh).
+    pingmesh = Pingmesh(sim, rng.child("pm"), interval_ns=1 * MS)
+    pingmesh.add_pair(s1, s0)
+    pingmesh.start()
+
+    start = sim.now
+    sim.run(until=start + 25 * MS)
+
+    elapsed = sim.now - start
+    moved = qp.stats.bytes_completed + 16 * MB  # read completes on s0's QP
+    print("RDMA quickstart on %s" % topo.fabric)
+    for kind, t in done:
+        print("  %-5s completed at t=%.2f ms" % (kind, t / MS))
+    print("  goodput          : %s" % fmt_rate(int(moved * 8e9 / elapsed)))
+    print("  packets dropped  : %d (lossless -- PFC at work)" % topo.fabric.total_drops())
+    print("  retransmissions  : %d" % qp.stats.retransmitted_packets)
+    print(
+        "  probe RTT p50/p99: %.1f / %.1f us"
+        % (pingmesh.rtt_percentile_us(50), pingmesh.rtt_percentile_us(99))
+    )
+    assert len(done) == 3, "all three verbs should have completed"
+    assert topo.fabric.total_drops() == 0
+
+
+if __name__ == "__main__":
+    main()

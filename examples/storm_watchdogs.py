@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Section 4.3 live: a NIC PFC pause storm, traced and contained.
+
+One server's NIC receive pipeline dies while its pause generator keeps
+running -- the exact bug behind the paper's production incident (figure
+9).  The demo shows the monitoring story end to end:
+
+1. counters collected fleet-wide catch servers drowning in pause frames;
+2. the incident detector traces the storm to its single origin server;
+3. with the NIC and switch watchdogs armed, the same fault is confined
+   to the victim instead of freezing the fabric.
+
+Run:  python examples/storm_watchdogs.py
+"""
+
+from repro.monitoring import CounterCollector, IncidentDetector
+from repro.nic.nic import NicConfig, NicWatchdogConfig
+from repro.sim import SeededRng
+from repro.sim.units import KB, MB, MS
+from repro.switch.buffer import BufferConfig
+from repro.switch.watchdog import SwitchWatchdogConfig
+from repro.topo import three_tier_clos
+from repro.experiments.common import saturate_pairs
+
+
+def run(watchdogs):
+    poll = MS // 2
+    topo = three_tier_clos(
+        n_podsets=2, tors_per_podset=2, hosts_per_tor=2,
+        leaves_per_podset=2, n_spines=2, seed=5,
+        nic_config=NicConfig(
+            watchdog_config=NicWatchdogConfig(
+                stall_threshold_ns=2 * MS, poll_interval_ns=poll, enabled=watchdogs
+            )
+        ),
+        buffer_config=BufferConfig(alpha=None, xoff_static_bytes=96 * KB),
+    ).boot()
+    if watchdogs:
+        for podset in topo.podsets:
+            for tor in podset["tors"]:
+                tor.enable_storm_watchdog(
+                    SwitchWatchdogConfig(poll_interval_ns=poll, reenable_after_ns=4 * MS)
+                )
+    sim = topo.sim
+    rng = SeededRng(5, "storm-demo")
+    hosts = topo.hosts
+    victim = hosts[0]
+    pairs = [(hosts[4], victim), (hosts[6], victim), (hosts[2], victim)]
+    pairs += [(hosts[1], hosts[5]), (hosts[5], hosts[1]), (hosts[3], hosts[7]), (hosts[7], hosts[3])]
+    senders = saturate_pairs(sim, pairs, 1 * MB, rng)
+    collector = CounterCollector(sim, topo.fabric, interval_ns=MS).start()
+
+    sim.run(until=sim.now + 2 * MS)  # healthy baseline
+    victim.nic.break_rx_pipeline()
+    sim.run(until=sim.now + 6 * MS)
+    before = [s.completed_bytes for s in senders]
+    sim.run(until=sim.now + 2 * MS)
+    window = [(s.completed_bytes - b) * 8.0 / (2 * MS) for s, b in zip(senders, before)]
+    collector.stop()
+
+    detector = IncidentDetector(collector, pause_rate_threshold=2)
+    return {
+        "goodput": sum(window),
+        "blocked": sum(1 for g in window if g < 0.1),
+        "flows": len(senders),
+        "origin": detector.trace_origin(),
+        "victims": len(detector.pause_storms()),
+        "nic_tripped": victim.nic.watchdog_trips,
+    }
+
+
+def main():
+    for watchdogs in (False, True):
+        r = run(watchdogs)
+        print("watchdogs %-3s: %d/%d flows blocked, aggregate %.1f Gb/s"
+              % ("on" if watchdogs else "off", r["blocked"], r["flows"], r["goodput"]))
+        print("              incident detector traced origin -> %s "
+              "(%d devices saw pause storms, NIC watchdog trips: %d)"
+              % (r["origin"], r["victims"], r["nic_tripped"]))
+    print(
+        "\nWithout watchdogs one broken NIC freezes every flow in the"
+        "\nfabric; with the paper's two watchdogs only the victim's own"
+        "\nflows are lost, and monitoring pinpoints the culprit server."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Setup shim for environments whose setuptools predates PEP 660 editable
+installs (the offline toolchain here lacks the ``wheel`` package)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'RDMA over Commodity Ethernet at Scale' (SIGCOMM "
+        "2016): RoCEv2/PFC/DCQCN packet-level simulator"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,65 @@
+"""repro -- a reproduction of "RDMA over Commodity Ethernet at Scale"
+(Guo et al., SIGCOMM 2016).
+
+The package is a packet-level discrete-event simulator of a RoCEv2
+deployment on a commodity Ethernet Clos fabric, plus the paper's
+contributions built on top of it:
+
+* DSCP-based PFC (vs the original VLAN-based design) -- :mod:`repro.core`
+* the safety fixes: go-back-N recovery, the incomplete-ARP drop that
+  prevents the figure-4 deadlock, both PFC-storm watchdogs, and the
+  slow-receiver mitigations -- :mod:`repro.rdma`, :mod:`repro.core`,
+  :mod:`repro.nic`, :mod:`repro.switch`
+* DCQCN congestion control -- :mod:`repro.dcqcn`
+* management and monitoring (config drift, PFC counters, RDMA
+  Pingmesh) -- :mod:`repro.monitoring`
+* every table and figure of the evaluation -- :mod:`repro.experiments`
+
+Quickstart::
+
+    from repro import single_switch, connect_qp_pair, post_send, SeededRng
+
+    topo = single_switch(n_hosts=2).boot()
+    qp, _ = connect_qp_pair(topo.hosts[0], topo.hosts[1], SeededRng(1))
+    post_send(qp, 4 * 1024 * 1024, on_complete=lambda wr, t: print("done", t))
+    topo.sim.run(until=10_000_000)
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+per-figure reproduction harness.
+"""
+
+from repro.sim import SeededRng, Simulator
+from repro.rdma import (
+    GoBack0,
+    GoBackN,
+    QpConfig,
+    TrafficClass,
+    connect_qp_pair,
+    post_read,
+    post_send,
+    post_write,
+)
+from repro.dcqcn import DcqcnConfig, enable_dcqcn
+from repro.topo import deadlock_quad, single_switch, three_tier_clos, two_tier
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulator",
+    "SeededRng",
+    "QpConfig",
+    "TrafficClass",
+    "GoBack0",
+    "GoBackN",
+    "connect_qp_pair",
+    "post_send",
+    "post_write",
+    "post_read",
+    "DcqcnConfig",
+    "enable_dcqcn",
+    "single_switch",
+    "two_tier",
+    "three_tier_clos",
+    "deadlock_quad",
+    "__version__",
+]

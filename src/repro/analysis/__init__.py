@@ -1,0 +1,5 @@
+"""Analysis helpers: percentiles, CDFs, time series."""
+
+from repro.analysis.percentiles import Cdf, percentile, summarize_latencies_us
+
+__all__ = ["percentile", "Cdf", "summarize_latencies_us"]

@@ -1,0 +1,74 @@
+"""Percentiles and CDFs for latency analysis.
+
+The paper reports tail percentiles (p99, p99.9) of Pingmesh latency;
+these helpers compute them with linear interpolation (matching numpy's
+default) without requiring numpy at runtime.
+"""
+
+from repro.sim.units import US
+
+
+def percentile(samples, q):
+    """The ``q``-th percentile (0..100) with linear interpolation."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0 <= q <= 100:
+        raise ValueError("percentile must be within [0, 100]: %r" % (q,))
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = rank - lower
+    return ordered[lower] * (1 - fraction) + ordered[upper] * fraction
+
+
+class Cdf:
+    """An empirical CDF over a sample set."""
+
+    def __init__(self, samples):
+        if not samples:
+            raise ValueError("no samples")
+        self._sorted = sorted(samples)
+
+    def quantile(self, q):
+        """Value at cumulative probability ``q`` in [0, 1]."""
+        return percentile(self._sorted, q * 100)
+
+    def fraction_below(self, value):
+        """P(X <= value)."""
+        import bisect
+
+        return bisect.bisect_right(self._sorted, value) / len(self._sorted)
+
+    @property
+    def median(self):
+        return self.quantile(0.5)
+
+    @property
+    def min(self):
+        return self._sorted[0]
+
+    @property
+    def max(self):
+        return self._sorted[-1]
+
+    def points(self, n=100):
+        """``n`` evenly spaced (value, cumulative_fraction) pairs for
+        plotting."""
+        total = len(self._sorted)
+        step = max(1, total // n)
+        return [
+            (self._sorted[i], (i + 1) / total) for i in range(0, total, step)
+        ]
+
+    def __len__(self):
+        return len(self._sorted)
+
+
+def summarize_latencies_us(samples_ns, percentiles=(50, 99, 99.9)):
+    """A dict of microsecond percentiles from nanosecond samples."""
+    return {
+        ("p%g" % q): percentile(samples_ns, q) / US for q in percentiles
+    }

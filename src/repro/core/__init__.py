@@ -1,0 +1,43 @@
+"""The paper's primary contributions, as reusable policy objects.
+
+* :mod:`~repro.core.dscp_pfc` / :mod:`~repro.core.vlan_pfc` -- the two
+  PFC deployment designs of section 3, with validators that surface the
+  VLAN design's failure modes (trunk-mode ports, PCP loss across
+  subnets) and the DSCP design's fixes.
+* :mod:`~repro.core.provisioning` -- the PXE-boot / OS-provisioning
+  interaction that killed VLAN-based PFC in practice.
+* :mod:`~repro.core.deadlock` -- runtime PFC deadlock detection (cycle
+  finding over the pause wait-for graph) and a static channel-dependency
+  analyzer for topologies+routing.
+* :mod:`~repro.core.safety` -- bundled safety profiles: the paper's full
+  mitigation set vs the naive initial deployment.
+* :mod:`~repro.core.deployment` -- the section 6.1 staged onboarding
+  procedure (ToR-only -> Podset -> Spine) with health gates and
+  rollback.
+"""
+
+from repro.core.deadlock import (
+    DeadlockReport,
+    detect_deadlock,
+    static_channel_dependencies,
+)
+from repro.core.deployment import StagedRollout, StageReport
+from repro.core.dscp_pfc import DscpPfcDesign
+from repro.core.provisioning import ProvisioningService, PxeBootResult
+from repro.core.safety import SafetyProfile, naive_profile, paper_safe_profile
+from repro.core.vlan_pfc import VlanPfcDesign
+
+__all__ = [
+    "DscpPfcDesign",
+    "VlanPfcDesign",
+    "ProvisioningService",
+    "PxeBootResult",
+    "detect_deadlock",
+    "static_channel_dependencies",
+    "DeadlockReport",
+    "SafetyProfile",
+    "paper_safe_profile",
+    "naive_profile",
+    "StagedRollout",
+    "StageReport",
+]

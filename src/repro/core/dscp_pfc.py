@@ -1,0 +1,75 @@
+"""DSCP-based PFC: the paper's scalability contribution (section 3,
+figure 3b).
+
+The key observation: PFC pause frames never carry a VLAN tag, so the tag
+exists only to carry the data packet's priority -- and IP already has a
+better field for that, DSCP, which survives routing and needs no trunk
+ports.  "The change is small and only touches the data packet format."
+"""
+
+from repro.packets.packet import PriorityMode
+from repro.rdma.qp import TrafficClass
+from repro.switch.pfc import PfcConfig
+
+
+class DscpPfcDesign:
+    """Fabric-wide DSCP-based PFC deployment.
+
+    ``dscp_to_priority`` defaults to the paper's identity mapping ("we
+    simply map DSCP value i to PFC priority i") but "can be flexible and
+    can even be many-to-one".
+    """
+
+    name = "dscp-pfc"
+
+    def __init__(self, lossless_priorities=(3, 4), dscp_to_priority=None, default_priority=0):
+        self.lossless_priorities = tuple(lossless_priorities)
+        self.dscp_to_priority = dscp_to_priority
+        self.default_priority = default_priority
+
+    # -- config generation --------------------------------------------------------
+
+    def pfc_config(self):
+        return PfcConfig(
+            priority_mode=PriorityMode.DSCP,
+            lossless_priorities=self.lossless_priorities,
+            dscp_to_priority=self.dscp_to_priority,
+            default_priority=self.default_priority,
+        )
+
+    def traffic_class(self, priority, dscp=None):
+        """Untagged packets; priority carried in DSCP."""
+        if dscp is None:
+            dscp = self._dscp_for_priority(priority)
+        return TrafficClass(dscp=dscp, priority=priority, vlan_id=None)
+
+    def _dscp_for_priority(self, priority):
+        if self.dscp_to_priority is None:
+            return priority  # identity mapping
+        for dscp, mapped in self.dscp_to_priority.items():
+            if mapped == priority:
+                return dscp
+        raise ValueError("no DSCP maps to priority %d" % priority)
+
+    @property
+    def required_server_port_mode(self):
+        """Access mode works: untagged frames flow, PXE boot included."""
+        return "access"
+
+    def apply_to_switch(self, switch):
+        switch.pfc_config = self.pfc_config()
+        switch.set_server_port_modes(self.required_server_port_mode)
+
+    # -- self-diagnosis ------------------------------------------------------------
+
+    def validate(self, layer3_fabric=True, pxe_boot_needed=True, layer2_only_protocols=False):
+        """Deployment problems.  Empty on the paper's L3 fabric; the one
+        genuine limitation is pure layer-2 designs (e.g. FCoE)."""
+        problems = []
+        if layer2_only_protocols:
+            problems.append(
+                "DSCP-based PFC cannot serve designs that must stay in "
+                "layer 2 (e.g. FCoE) -- there is no IP header to carry "
+                "the priority"
+            )
+        return problems

@@ -1,0 +1,115 @@
+"""The OS-provisioning (PXE boot) service model.
+
+Section 3: "When a server goes through PXE boot, its NIC does not have
+VLAN configuration and as a result cannot send or receive packets with
+VLAN tags.  But since the server facing switch ports are configured with
+trunk mode, these ports can only send packets with VLAN tag.  Hence the
+PXE boot communication between the server and the OS provisioning
+service is broken."
+
+The model runs an actual untagged request/response exchange through a
+switch (using the simulator), so the failure is *observed*, not assumed.
+"""
+
+import enum
+
+from repro.packets.ip import IPPROTO_UDP, Ipv4Header
+from repro.packets.packet import Packet
+from repro.packets.udp import UdpHeader
+
+
+class PxeBootResult(enum.Enum):
+    """Outcome of a provisioning attempt."""
+
+    SUCCESS = "success"
+    BROKEN_TRUNK_PORT = "broken-trunk-port"
+    NO_RESPONSE = "no-response"
+
+
+class ProvisioningService:
+    """A PXE/DHCP-style boot service reachable through the fabric.
+
+    The service lives on ``server_host``; a booting NIC on ``client_host``
+    exchanges **untagged** UDP datagrams with it (a PXE-booting NIC has no
+    VLAN configuration).  ``attempt_boot`` drives the exchange through
+    the real switch pipeline and reports what happened.
+    """
+
+    DHCP_CLIENT_PORT = 68
+    DHCP_SERVER_PORT = 67
+
+    def __init__(self, sim, server_host):
+        self.sim = sim
+        self.server_host = server_host
+        self.requests_served = 0
+        self._install()
+
+    def _install(self):
+        def handler(packet):
+            if packet.udp.dst_port == self.DHCP_SERVER_PORT:
+                self.requests_served += 1
+                self._respond(packet)
+
+        self.server_host.install_handler("raw-udp", handler)
+
+    def _respond(self, request):
+        response = _untagged_udp(
+            self.server_host,
+            dst_ip=request.ip.src,
+            dst_mac=request.src_mac,
+            src_port=self.DHCP_SERVER_PORT,
+            dst_port=self.DHCP_CLIENT_PORT,
+            payload=300,
+            now=self.sim.now,
+        )
+        self.server_host.nic.port.enqueue(response, 0)
+
+    def attempt_boot(self, client_host, timeout_ns=1_000_000):
+        """One boot attempt: untagged request, wait for the response.
+
+        Returns a :class:`PxeBootResult`.
+        """
+        got_response = []
+
+        def client_handler(packet):
+            if packet.udp is not None and packet.udp.dst_port == self.DHCP_CLIENT_PORT:
+                got_response.append(packet)
+
+        client_host.install_handler("raw-udp", client_handler)
+        request = _untagged_udp(
+            client_host,
+            dst_ip=self.server_host.ip,
+            dst_mac=self.server_host.mac,
+            src_port=self.DHCP_CLIENT_PORT,
+            dst_port=self.DHCP_SERVER_PORT,
+            payload=300,
+            now=self.sim.now,
+        )
+        served_before = self.requests_served
+        client_host.nic.port.enqueue(request, 0)
+        self.sim.run(until=self.sim.now + timeout_ns)
+        if got_response:
+            return PxeBootResult.SUCCESS
+        if self.requests_served == served_before:
+            return PxeBootResult.BROKEN_TRUNK_PORT
+        return PxeBootResult.NO_RESPONSE
+
+
+def _untagged_udp(host, dst_ip, dst_mac, src_port, dst_port, payload, now):
+    """An untagged UDP datagram -- all a PXE-booting NIC can produce."""
+    ip = Ipv4Header(
+        src=host.ip,
+        dst=dst_ip,
+        protocol=IPPROTO_UDP,
+        dscp=0,
+        identification=host.nic.next_ip_id(),
+    )
+    udp = UdpHeader(src_port=src_port, dst_port=dst_port)
+    return Packet(
+        dst_mac=dst_mac,
+        src_mac=host.mac,
+        ip=ip,
+        udp=udp,
+        payload_bytes=payload,
+        created_ns=now,
+    )

@@ -1,0 +1,100 @@
+"""Bundled safety profiles.
+
+The paper's production posture is a *set* of mitigations that only work
+together: go-back-N recovery (4.1), dropping lossless packets on
+incomplete ARP entries (4.2), both storm watchdogs (4.3), large MTT
+pages + dynamic buffer sharing with a sane alpha (4.4, 6.2).  A
+:class:`SafetyProfile` captures one such posture and applies it to a
+topology; the ablation benches toggle individual fields.
+"""
+
+from repro.nic.mtt import MttConfig
+from repro.rdma.recovery import GoBack0, GoBackN
+from repro.sim.units import KB, MB
+from repro.switch.buffer import BufferConfig
+from repro.switch.watchdog import SwitchWatchdogConfig
+
+
+class SafetyProfile:
+    """One deployment posture."""
+
+    def __init__(
+        self,
+        name,
+        recovery_factory,
+        drop_lossless_on_incomplete_arp,
+        nic_watchdog_enabled,
+        switch_watchdog_enabled,
+        buffer_alpha,
+        mtt_page_bytes,
+    ):
+        self.name = name
+        self.recovery_factory = recovery_factory
+        self.drop_lossless_on_incomplete_arp = drop_lossless_on_incomplete_arp
+        self.nic_watchdog_enabled = nic_watchdog_enabled
+        self.switch_watchdog_enabled = switch_watchdog_enabled
+        self.buffer_alpha = buffer_alpha
+        self.mtt_page_bytes = mtt_page_bytes
+
+    def recovery(self):
+        """A fresh recovery-policy instance for a QP."""
+        return self.recovery_factory()
+
+    def buffer_config(self, **overrides):
+        kwargs = dict(alpha=self.buffer_alpha)
+        kwargs.update(overrides)
+        return BufferConfig(**kwargs)
+
+    def mtt_config(self, **overrides):
+        kwargs = dict(page_bytes=self.mtt_page_bytes)
+        kwargs.update(overrides)
+        return MttConfig(**kwargs)
+
+    def forwarding_kwargs(self):
+        """Keyword arguments for switch construction."""
+        return {
+            "drop_lossless_on_incomplete_arp": self.drop_lossless_on_incomplete_arp
+        }
+
+    def apply_to_topology(self, topo):
+        """Arm the profile's runtime pieces on a built topology."""
+        for switch in topo.fabric.switches:
+            switch.tables.drop_lossless_on_incomplete_arp = (
+                self.drop_lossless_on_incomplete_arp
+            )
+            if self.switch_watchdog_enabled:
+                switch.enable_storm_watchdog(SwitchWatchdogConfig())
+        for host in topo.fabric.hosts:
+            host.nic.config.watchdog_config.enabled = self.nic_watchdog_enabled
+        return topo
+
+    def __repr__(self):
+        return "SafetyProfile(%s)" % self.name
+
+
+def paper_safe_profile():
+    """Everything the paper deployed, together."""
+    return SafetyProfile(
+        name="paper-safe",
+        recovery_factory=GoBackN,
+        drop_lossless_on_incomplete_arp=True,
+        nic_watchdog_enabled=True,
+        switch_watchdog_enabled=True,
+        buffer_alpha=1.0 / 16,
+        mtt_page_bytes=2 * MB,
+    )
+
+
+def naive_profile():
+    """The initial state of the world the paper started from: vendor
+    go-back-0 firmware, flooding allowed for lossless traffic, no
+    watchdogs, small pages, and the misconfigured alpha of section 6.2."""
+    return SafetyProfile(
+        name="naive",
+        recovery_factory=GoBack0,
+        drop_lossless_on_incomplete_arp=False,
+        nic_watchdog_enabled=False,
+        switch_watchdog_enabled=False,
+        buffer_alpha=1.0 / 64,
+        mtt_page_bytes=4 * KB,
+    )

@@ -1,0 +1,73 @@
+"""The original VLAN-based PFC design (section 3, figure 3a).
+
+Packet priority rides the 802.1Q PCP field, which cannot be carried
+without a VLAN ID: ports must run in trunk mode, and the tag does not
+survive IP routing.  The design object produces the device configs and
+*knows its own failure modes*, which the validators and experiment E9
+surface.
+"""
+
+from repro.packets.packet import PriorityMode
+from repro.rdma.qp import TrafficClass
+from repro.switch.pfc import PfcConfig
+
+
+class VlanPfcDesign:
+    """Fabric-wide VLAN-based PFC deployment."""
+
+    name = "vlan-pfc"
+
+    def __init__(self, vlan_id=100, lossless_priorities=(3, 4), default_priority=0):
+        self.vlan_id = vlan_id
+        self.lossless_priorities = tuple(lossless_priorities)
+        self.default_priority = default_priority
+
+    # -- config generation -------------------------------------------------------
+
+    def pfc_config(self):
+        """The :class:`PfcConfig` for switches and NICs."""
+        return PfcConfig(
+            priority_mode=PriorityMode.VLAN,
+            lossless_priorities=self.lossless_priorities,
+            default_priority=self.default_priority,
+        )
+
+    def traffic_class(self, priority, dscp=None):
+        """How a QP must colour packets: tagged, PCP = priority."""
+        return TrafficClass(
+            dscp=dscp if dscp is not None else priority,
+            priority=priority,
+            vlan_id=self.vlan_id,
+        )
+
+    @property
+    def required_server_port_mode(self):
+        """Server-facing ports must accept tagged frames: trunk mode --
+        which is exactly what breaks PXE boot."""
+        return "trunk"
+
+    def apply_to_switch(self, switch):
+        """Install the design on a switch (PFC mode + port modes)."""
+        switch.pfc_config = self.pfc_config()
+        switch.set_server_port_modes(self.required_server_port_mode)
+
+    # -- self-diagnosis -----------------------------------------------------------
+
+    def validate(self, layer3_fabric=True, pxe_boot_needed=True):
+        """Returns the list of deployment problems (strings); empty means
+        deployable.  For this design the list is never empty in the
+        paper's environment."""
+        problems = []
+        if pxe_boot_needed:
+            problems.append(
+                "server ports must be trunk mode, but PXE-booting NICs "
+                "have no VLAN configuration and cannot exchange tagged "
+                "frames: OS provisioning breaks"
+            )
+        if layer3_fabric:
+            problems.append(
+                "VLAN PCP is not preserved across IP subnet boundaries: "
+                "packets lose their priority (and PFC protection) after "
+                "the first routed hop"
+            )
+        return problems

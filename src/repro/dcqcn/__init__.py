@@ -1,0 +1,19 @@
+"""DCQCN congestion control (Zhu et al., SIGCOMM 2015 -- reference [42]).
+
+The paper deploys DCQCN so that "small queue lengths reduce the PFC
+generation and propagation probability" (section 2).  DCQCN has three
+roles, mapped onto this codebase as:
+
+* **CP (congestion point)** -- the switch marks ECN-capable packets by
+  RED on the instantaneous egress queue: :class:`repro.switch.ecn.EcnConfig`.
+* **NP (notification point)** -- the receiving transport returns at most
+  one CNP per 50 us per QP when it sees CE marks:
+  ``QueuePair._maybe_send_cnp`` in :mod:`repro.rdma.qp`.
+* **RP (reaction point)** -- the sending QP's rate machine, implemented
+  here: multiplicative decrease on CNP, then fast recovery / additive
+  increase / hyper increase driven by a timer and a byte counter.
+"""
+
+from repro.dcqcn.rp import DcqcnConfig, ReactionPoint, enable_dcqcn
+
+__all__ = ["DcqcnConfig", "ReactionPoint", "enable_dcqcn"]

@@ -1,0 +1,322 @@
+"""Ablations: the design choices DESIGN.md calls out, swept.
+
+These go beyond the paper's own tables to quantify its qualitative
+claims and its section 8.1 future-work directions:
+
+* :func:`run_cc_comparison` -- none vs DCQCN vs TIMELY on the same
+  congested fabric ("the lessons ... apply to the networks using TIMELY
+  as well", section 2);
+* :func:`run_alpha_sweep` -- the dynamic-buffer parameter swept across
+  the section 6.2 range and beyond;
+* :func:`run_ecn_sweep` -- DCQCN's Kmin vs PFC pause generation ("small
+  queue lengths reduce the PFC generation ... probability");
+* :func:`run_gbn_waste` -- go-back-N's RTT x C retransmission waste vs
+  cable length (the cost the paper accepts in section 4.1);
+* :func:`run_routing_models` -- ECMP vs idealized max-min vs per-packet
+  spraying on the figure 7 fabric (section 8.1);
+* :func:`run_interdc_distance` -- PFC headroom vs link distance, the
+  arithmetic behind "RoCEv2 works only for servers under the same Spine
+  switch layer".
+"""
+
+from repro.analysis.percentiles import percentile
+from repro.dcqcn import DcqcnConfig, enable_dcqcn
+from repro.flows import ClosFlowModel
+from repro.monitoring.pingmesh import Pingmesh
+from repro.rdma.qp import QpConfig, TrafficClass
+from repro.rdma.verbs import connect_qp_pair
+from repro.sim import SeededRng
+from repro.sim.units import KB, MB, MS, US, gbps
+from repro.switch.buffer import BufferConfig, headroom_bytes
+from repro.switch.ecn import EcnConfig
+from repro.timely import TimelyConfig, enable_timely
+from repro.topo import single_switch
+from repro.workloads import ClosedLoopSender, RdmaChannel
+from repro.experiments.common import ExperimentResult
+
+
+class AblationResult(ExperimentResult):
+    def __init__(self, title, rows):
+        self.title = title
+        super().__init__(rows)
+
+
+# --- congestion control comparison -------------------------------------------------
+
+
+def _congested_fabric(seed, ecn_enabled):
+    return single_switch(
+        n_hosts=5,
+        seed=seed,
+        buffer_config=BufferConfig(alpha=None, xoff_static_bytes=48 * KB),
+        ecn_config=EcnConfig(kmin_bytes=10 * KB, kmax_bytes=40 * KB, pmax=0.3,
+                             enabled=ecn_enabled),
+    ).boot()
+
+
+def run_cc_comparison(duration_ns=15 * MS, seed=21):
+    """4:1 incast under no CC, DCQCN and TIMELY.
+
+    Expected shape: both controllers slash pause generation and the
+    probe tail relative to PFC-only; neither drops a packet.
+    """
+    rows = []
+    for mode in ("none", "dcqcn", "timely"):
+        topo = _congested_fabric(seed, ecn_enabled=(mode == "dcqcn"))
+        sim = topo.sim
+        rng = SeededRng(seed, "cc-%s" % mode)
+        victim = topo.hosts[0]
+        senders = []
+        for src in topo.hosts[1:]:
+            qp, _ = connect_qp_pair(src, victim, rng)
+            if mode == "dcqcn":
+                enable_dcqcn(qp, DcqcnConfig())
+            elif mode == "timely":
+                enable_timely(qp, TimelyConfig(t_low_ns=8 * US, t_high_ns=25 * US))
+            senders.append(ClosedLoopSender(RdmaChannel(qp), 64 * KB).start())
+        pingmesh = Pingmesh(sim, rng.child("pm"), interval_ns=int(0.5 * MS))
+        pingmesh.add_pair(topo.hosts[1], victim)
+        pingmesh.start()
+        start = sim.now
+        sim.run(until=start + duration_ns)
+        elapsed = sim.now - start
+        rtts = pingmesh.rtts_ns()
+        rows.append(
+            {
+                "cc": mode,
+                "pause_frames": topo.tor.pause_frames_sent(),
+                "probe_p99_us": percentile(rtts, 99) / US if rtts else None,
+                "goodput_gbps": sum(s.completed_bytes for s in senders) * 8.0 / elapsed,
+                "drops": topo.fabric.total_drops(),
+                "ecn_marks": topo.tor.counters.ecn_marked,
+            }
+        )
+    return AblationResult("Ablation: congestion control (none / DCQCN / TIMELY)", rows)
+
+
+# --- alpha sweep ----------------------------------------------------------------------
+
+
+def run_alpha_sweep(alphas=(1.0 / 64, 1.0 / 32, 1.0 / 16, 1.0 / 8, 1.0 / 4),
+                    duration_ns=10 * MS, seed=22):
+    """Incast pause generation across the dynamic-threshold range.
+
+    Expected shape: monotone -- smaller alpha, earlier pauses, more of
+    them (the section 6.2 incident generalized).
+    """
+    rows = []
+    for alpha in alphas:
+        topo = single_switch(
+            n_hosts=5, seed=seed, buffer_config=BufferConfig(alpha=alpha)
+        ).boot()
+        rng = SeededRng(seed, "alpha-%g" % alpha)
+        victim = topo.hosts[0]
+        for src in topo.hosts[1:]:
+            qp, _ = connect_qp_pair(src, victim, rng)
+            ClosedLoopSender(RdmaChannel(qp), 512 * KB).start()
+        topo.sim.run(until=topo.sim.now + duration_ns)
+        rows.append(
+            {
+                "alpha": "1/%d" % round(1 / alpha),
+                "threshold_kb": topo.tor.buffer.threshold() // KB,
+                "pause_frames": topo.tor.pause_frames_sent(),
+                "drops": topo.fabric.total_drops(),
+            }
+        )
+    return AblationResult("Ablation: dynamic buffer alpha sweep", rows)
+
+
+# --- ECN threshold sweep ----------------------------------------------------------------
+
+
+def run_ecn_sweep(kmin_values_kb=(5, 10, 20, 40, 80), duration_ns=10 * MS, seed=23):
+    """DCQCN marking aggressiveness vs PFC pause generation.
+
+    Expected shape: earlier marking (small Kmin) means senders slow
+    before queues reach XOFF -- fewer pauses, at some goodput cost.
+    """
+    rows = []
+    for kmin in kmin_values_kb:
+        topo = single_switch(
+            n_hosts=5,
+            seed=seed,
+            buffer_config=BufferConfig(alpha=None, xoff_static_bytes=64 * KB),
+            ecn_config=EcnConfig(
+                kmin_bytes=kmin * KB, kmax_bytes=4 * kmin * KB, pmax=0.3
+            ),
+        ).boot()
+        rng = SeededRng(seed, "ecn-%d" % kmin)
+        victim = topo.hosts[0]
+        senders = []
+        for src in topo.hosts[1:]:
+            qp, _ = connect_qp_pair(src, victim, rng)
+            enable_dcqcn(qp)
+            senders.append(ClosedLoopSender(RdmaChannel(qp), 256 * KB).start())
+        start = topo.sim.now
+        topo.sim.run(until=start + duration_ns)
+        elapsed = topo.sim.now - start
+        rows.append(
+            {
+                "kmin_kb": kmin,
+                "ecn_marks": topo.tor.counters.ecn_marked,
+                "pause_frames": topo.tor.pause_frames_sent(),
+                "goodput_gbps": sum(s.completed_bytes for s in senders) * 8.0 / elapsed,
+            }
+        )
+    return AblationResult("Ablation: DCQCN Kmin vs PFC pause generation", rows)
+
+
+# --- TCP flavour: Reno vs DCTCP ----------------------------------------------------------------
+
+
+def run_tcp_flavours(duration_ns=80 * MS, seed=26):
+    """The TCP class under incast: Reno vs DCTCP.
+
+    The paper keeps TCP in a lossy class where incast means drops and
+    RTO-scale tails (figure 6); its authors' companion work on ECN
+    tuning [38] points at the fix this ablation measures: DCTCP reacts
+    to CE marks before the lossy queue overflows.
+
+    Expected shape: DCTCP takes far fewer drops and a shorter message
+    tail for the same offered incast.
+    """
+    from repro.switch.ecn import EcnConfig as _Ecn
+    from repro.tcp import TcpConfig, connect_tcp_pair
+
+    rows = []
+    for flavour in ("reno", "dctcp"):
+        topo = single_switch(
+            n_hosts=5,
+            seed=seed,
+            buffer_config=BufferConfig(
+                alpha=None, xoff_static_bytes=96 * KB, lossy_egress_cap_bytes=128 * KB
+            ),
+            ecn_config=_Ecn(kmin_bytes=10 * KB, kmax_bytes=40 * KB, pmax=0.5),
+        ).boot()
+        rng = SeededRng(seed, "tcpflav-%s" % flavour)
+        victim = topo.hosts[0]
+        latencies = []
+        connections = []
+
+        def config():
+            return TcpConfig(ecn_enabled=(flavour == "dctcp"))
+
+        for src in topo.hosts[1:]:
+            conn, _ = connect_tcp_pair(src, victim, rng, config_a=config(), config_b=config())
+            connections.append(conn)
+            for _ in range(4):
+                conn.send_message(256 * KB, on_delivered=latencies.append)
+        topo.sim.run(until=topo.sim.now + duration_ns)
+        drops = (
+            topo.tor.counters.drops["egress-lossy"]
+            + topo.tor.counters.drops["buffer-lossy"]
+        )
+        rows.append(
+            {
+                "flavour": flavour,
+                "drops": drops,
+                "rtos": sum(c.stats.rtos for c in connections),
+                "ce_acks": sum(c.stats.ce_acks for c in connections),
+                "delivered": len(latencies),
+                "p99_ms": percentile(latencies, 99) / 1e6 if latencies else None,
+            }
+        )
+    return AblationResult("Ablation: TCP class flavour (Reno vs DCTCP)", rows)
+
+
+# --- go-back-N waste ------------------------------------------------------------------------
+
+
+def run_gbn_waste(cable_meters=(2, 300, 2000), duration_ns=15 * MS, seed=24):
+    """Go-back-N's retransmission waste grows with RTT ("up to RTT x C
+    bytes ... wasted for a single packet drop", section 4.1).
+
+    Expected shape: wasted (retransmitted) bytes per drop scale roughly
+    with the RTT; goodput under identical loss degrades with distance.
+    """
+    rows = []
+    for meters in cable_meters:
+        topo = single_switch(n_hosts=2, seed=seed)
+        # Rebuild the links at the requested length.
+        for link in topo.fabric.links:
+            link.delay_ns = meters * 5
+        topo.boot()
+        topo.tor.ingress_drop_filter = (
+            lambda p: p.ip is not None and p.ip.identification & 0x3FF == 0x3FF
+        )  # 1/1024 deterministic drop
+        rng = SeededRng(seed, "gbn-%d" % meters)
+        config = QpConfig(window_packets=2048, rto_ns=2 * MS)
+        qp, _ = connect_qp_pair(
+            topo.hosts[0], topo.hosts[1], rng, config_a=config, config_b=config
+        )
+        sender = ClosedLoopSender(RdmaChannel(qp), 1 * MB).start()
+        start = topo.sim.now
+        topo.sim.run(until=start + duration_ns)
+        elapsed = topo.sim.now - start
+        drops = topo.tor.counters.drops["filter"]
+        retx = qp.stats.retransmitted_packets
+        rows.append(
+            {
+                "cable_m": meters,
+                "rtt_us": 4 * meters * 5 / 1000,
+                "drops": drops,
+                "retransmitted_packets": retx,
+                "waste_per_drop_packets": retx / drops if drops else 0.0,
+                "goodput_gbps": sender.completed_bytes * 8.0 / elapsed,
+            }
+        )
+    return AblationResult("Ablation: go-back-N waste vs RTT", rows)
+
+
+# --- routing / load balancing models -----------------------------------------------------------
+
+
+def run_routing_models(seed=25):
+    """Figure 7's fabric under three load-balancing models.
+
+    Expected shape: ECMP+PFC ~60%; idealized per-flow max-min recovers
+    most of it; per-packet spraying (the section 8.1 future work)
+    reaches line rate.
+    """
+    model = ClosFlowModel(seed=seed)
+    rows = []
+    for allocation, label in (
+        ("pfc-uniform", "ecmp+pfc (deployed)"),
+        ("maxmin", "ecmp, ideal per-flow fairness"),
+        ("per-packet", "per-packet spraying (future work)"),
+    ):
+        result = model.run(allocation)
+        rows.append(
+            {
+                "model": label,
+                "aggregate_tbps": result.aggregate_bps / 1e12,
+                "utilization": result.utilization,
+                "per_server_gbps": result.per_server_gbps(),
+            }
+        )
+    return AblationResult("Ablation: load-balancing models on the figure 7 fabric", rows)
+
+
+# --- inter-DC distances -------------------------------------------------------------------------
+
+
+def run_interdc_distance(distances_m=(300, 2_000, 10_000, 100_000), rate=40):
+    """Headroom per PG vs link distance: why "RoCEv2 is not as generic
+    as TCP" and needs "new ideas ... for inter-DC communications"
+    (section 8.1).
+
+    Expected shape: headroom grows linearly past any plausible switch
+    buffer; at 100 km a single 40G priority wants ~0.1 GB of headroom
+    per port.
+    """
+    rows = []
+    for meters in distances_m:
+        per_pg = headroom_bytes(gbps(rate), cable_meters=meters, mtu_bytes=9216)
+        rows.append(
+            {
+                "distance_m": meters,
+                "headroom_per_pg_mb": per_pg / (1024 * 1024),
+                "pgs_per_9mb_buffer": max(0, int(9 * 1024 * 1024 // per_pg)),
+            }
+        )
+    return AblationResult("Ablation: PFC headroom vs distance (inter-DC limit)", rows)

@@ -1,0 +1,89 @@
+"""Shared experiment scaffolding."""
+
+import csv
+
+from repro.net.port import DwrrScheduler
+
+
+class ExperimentResult:
+    """Base result: named rows + a printable table + CSV export."""
+
+    title = "experiment"
+
+    def __init__(self, rows):
+        self._rows = rows
+
+    def rows(self):
+        return list(self._rows)
+
+    def to_csv(self, path):
+        """Write the rows as CSV (one column per row key, union-ordered)."""
+        rows = self.rows()
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns)
+            writer.writeheader()
+            for row in rows:
+                writer.writerow(row)
+        return path
+
+    def format_table(self):
+        rows = self.rows()
+        if not rows:
+            return "%s: (no rows)" % self.title
+        columns = list(rows[0].keys())
+        widths = {
+            c: max(len(str(c)), max(len(_fmt(r.get(c))) for r in rows)) for c in columns
+        }
+        lines = [self.title]
+        header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+        lines.append(header)
+        lines.append("  ".join("-" * widths[c] for c in columns))
+        for row in rows:
+            lines.append("  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns))
+        return "\n".join(lines)
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return "%.3f" % value
+    return str(value)
+
+
+def apply_ets_weights(fabric, weights, quantum_bytes=1600):
+    """Install DWRR schedulers on every switch port.
+
+    Models the ETS bandwidth reservation the paper configures so that
+    the TCP class keeps its share next to saturating RDMA classes.
+    """
+    for switch in fabric.switches:
+        for port in switch.ports:
+            port.scheduler = DwrrScheduler(weights=dict(weights), quantum_bytes=quantum_bytes)
+
+
+def saturate_pairs(sim, pairs, message_bytes, rng, qp_config_factory=None, dcqcn_config=None):
+    """Start a closed-loop saturating sender on each (src, dst) pair.
+
+    Returns the list of :class:`ClosedLoopSender`.
+    """
+    from repro.dcqcn import enable_dcqcn
+    from repro.rdma.qp import QpConfig
+    from repro.rdma.verbs import connect_qp_pair
+    from repro.workloads import ClosedLoopSender, RdmaChannel
+
+    senders = []
+    for src, dst in pairs:
+        config_a = qp_config_factory() if qp_config_factory else QpConfig()
+        config_b = qp_config_factory() if qp_config_factory else QpConfig()
+        qp_a, _qp_b = connect_qp_pair(src, dst, rng, config_a=config_a, config_b=config_b)
+        if dcqcn_config is not None:
+            enable_dcqcn(qp_a, dcqcn_config)
+        sender = ClosedLoopSender(RdmaChannel(qp_a), message_bytes)
+        senders.append(sender)
+    for sender in senders:
+        sender.start()
+    return senders

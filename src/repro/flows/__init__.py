@@ -1,0 +1,18 @@
+"""Flow-level modelling for fabric-scale experiments.
+
+Figure 7 runs 3072 QPs over 1152 servers -- far beyond what packet-level
+simulation needs to answer the question the paper asks of it, because
+the paper itself attributes the result to ECMP hash placement: "This 60%
+limitation is caused by ECMP hash collision, not PFC or HOL blocking."
+
+So this subpackage reproduces figure 7 the way the bottleneck actually
+works: hash every QP onto its path (:mod:`~repro.flows.clos_model`),
+then compute the max-min fair rate allocation over link capacities
+(:mod:`~repro.flows.maxmin`) -- which is what a converged, lossless,
+DCQCN-controlled fabric settles to.
+"""
+
+from repro.flows.clos_model import ClosFlowModel, ClosFlowResult
+from repro.flows.maxmin import max_min_allocation
+
+__all__ = ["max_min_allocation", "ClosFlowModel", "ClosFlowResult"]

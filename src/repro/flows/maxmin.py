@@ -1,0 +1,76 @@
+"""Max-min fair rate allocation (progressive water-filling).
+
+Given links with capacities and flows that each traverse a set of links,
+repeatedly saturate the most-contended link: every unfrozen flow through
+it gets an equal share of its remaining capacity, those flows freeze,
+and the procedure recurses on what is left.  The result is the unique
+max-min fair allocation -- the equilibrium a lossless fabric with
+per-flow congestion control (DCQCN) approximates.
+"""
+
+
+def max_min_allocation(link_capacities, flow_paths):
+    """Compute max-min fair rates.
+
+    ``link_capacities``
+        Mapping link-id -> capacity (any consistent unit).
+    ``flow_paths``
+        One iterable of link-ids per flow.
+
+    Returns a list of per-flow rates in the same order.
+    """
+    remaining = dict(link_capacities)
+    flows_on_link = {link: set() for link in remaining}
+    for idx, path in enumerate(flow_paths):
+        for link in path:
+            if link not in flows_on_link:
+                raise KeyError("flow %d uses unknown link %r" % (idx, link))
+            flows_on_link[link].add(idx)
+    rates = [None] * len(flow_paths)
+    unfrozen = {idx for idx, path in enumerate(flow_paths) if path}
+    for idx, path in enumerate(flow_paths):
+        if not path:
+            rates[idx] = 0.0
+    while unfrozen:
+        # The binding link: smallest fair share among links with flows.
+        best_link = None
+        best_share = None
+        for link, flows in flows_on_link.items():
+            active = flows & unfrozen
+            if not active:
+                continue
+            share = remaining[link] / len(active)
+            if best_share is None or share < best_share:
+                best_share = share
+                best_link = link
+        if best_link is None:
+            # Flows whose every link lost all other flows: capped by
+            # nothing else; give each the min remaining capacity on its
+            # path (cannot happen with the loop above, defensive).
+            for idx in unfrozen:
+                rates[idx] = min(remaining[link] for link in flow_paths[idx])
+            break
+        saturated = flows_on_link[best_link] & unfrozen
+        for idx in saturated:
+            rates[idx] = best_share
+            unfrozen.discard(idx)
+            for link in flow_paths[idx]:
+                remaining[link] -= best_share
+        # Guard against float drift leaving tiny negative capacities.
+        remaining[best_link] = 0.0
+        for link in remaining:
+            if remaining[link] < 0:
+                remaining[link] = 0.0
+    return rates
+
+
+def link_utilization(link_capacities, flow_paths, rates):
+    """Utilization (0..1) per link given an allocation."""
+    load = {link: 0.0 for link in link_capacities}
+    for path, rate in zip(flow_paths, rates):
+        for link in path:
+            load[link] += rate
+    return {
+        link: (load[link] / cap if cap else 0.0)
+        for link, cap in link_capacities.items()
+    }

@@ -1,0 +1,37 @@
+"""Management and monitoring (paper section 5).
+
+"From day one ... we put RDMA/RoCEv2 management and monitoring as an
+indispensable part of the project."  The reproduction mirrors the three
+capabilities the paper describes:
+
+* :mod:`~repro.monitoring.config_mgmt` -- desired-vs-running
+  configuration monitoring (the section 6.2 alpha incident is a config
+  drift this catches);
+* :mod:`~repro.monitoring.counters` -- periodic collection of PFC pause
+  and per-priority traffic counters from switches and servers, including
+  the *pause interval* metric the paper asked its ASIC vendors for;
+* :mod:`~repro.monitoring.pingmesh` -- RDMA Pingmesh: active latency
+  probes (512-byte payloads) between server pairs, logging RTT or an
+  error code;
+* :mod:`~repro.monitoring.incidents` -- detectors over the collected
+  counters (pause storms, unavailable servers).
+"""
+
+from repro.monitoring.config_mgmt import ConfigDrift, ConfigMonitor, DesiredConfig
+from repro.monitoring.counters import CounterCollector
+from repro.monitoring.health import HealthTracker, ServerState
+from repro.monitoring.incidents import IncidentDetector, PauseStormIncident
+from repro.monitoring.pingmesh import Pingmesh, ProbeResult
+
+__all__ = [
+    "DesiredConfig",
+    "ConfigMonitor",
+    "ConfigDrift",
+    "CounterCollector",
+    "Pingmesh",
+    "ProbeResult",
+    "IncidentDetector",
+    "PauseStormIncident",
+    "HealthTracker",
+    "ServerState",
+]

@@ -1,0 +1,133 @@
+"""Configuration management and drift monitoring (paper section 5.1).
+
+"We have a configuration monitoring service to check if the running
+configurations of the switches and the servers are the same as their
+desired configurations."  The section 6.2 incident -- a new switch type
+shipping with alpha = 1/64 instead of the expected 1/16 -- is exactly
+the class of bug this service exists to catch.
+"""
+
+
+class DesiredConfig:
+    """The fabric-wide intended configuration."""
+
+    def __init__(
+        self,
+        priority_mode,
+        lossless_priorities,
+        buffer_alpha,
+        pfc_enabled=True,
+        ecn_enabled=None,
+    ):
+        self.priority_mode = priority_mode
+        self.lossless_priorities = frozenset(lossless_priorities)
+        self.buffer_alpha = buffer_alpha
+        self.pfc_enabled = pfc_enabled
+        self.ecn_enabled = ecn_enabled  # None: don't check
+
+    @classmethod
+    def from_design(cls, design, buffer_alpha=1.0 / 16, ecn_enabled=None):
+        """Derive from a :class:`DscpPfcDesign` / :class:`VlanPfcDesign`."""
+        config = design.pfc_config()
+        return cls(
+            priority_mode=config.priority_mode,
+            lossless_priorities=config.lossless_priorities,
+            buffer_alpha=buffer_alpha,
+            pfc_enabled=config.enabled,
+            ecn_enabled=ecn_enabled,
+        )
+
+
+class ConfigDrift:
+    """One detected mismatch."""
+
+    __slots__ = ("device", "field", "desired", "running")
+
+    def __init__(self, device, field, desired, running):
+        self.device = device
+        self.field = field
+        self.desired = desired
+        self.running = running
+
+    def __repr__(self):
+        return "ConfigDrift(%s.%s: desired=%r running=%r)" % (
+            self.device,
+            self.field,
+            self.desired,
+            self.running,
+        )
+
+    def __eq__(self, other):
+        return isinstance(other, ConfigDrift) and (
+            self.device,
+            self.field,
+            self.desired,
+            self.running,
+        ) == (other.device, other.field, other.desired, other.running)
+
+
+class ConfigMonitor:
+    """Compares running device state against a :class:`DesiredConfig`."""
+
+    def __init__(self, desired):
+        self.desired = desired
+
+    def check_switch(self, switch):
+        drifts = []
+        running = switch.pfc_config
+        desired = self.desired
+        if running.priority_mode != desired.priority_mode:
+            drifts.append(
+                ConfigDrift(switch.name, "priority_mode", desired.priority_mode, running.priority_mode)
+            )
+        if running.lossless_priorities != desired.lossless_priorities:
+            drifts.append(
+                ConfigDrift(
+                    switch.name,
+                    "lossless_priorities",
+                    desired.lossless_priorities,
+                    running.lossless_priorities,
+                )
+            )
+        if running.enabled != desired.pfc_enabled:
+            drifts.append(ConfigDrift(switch.name, "pfc_enabled", desired.pfc_enabled, running.enabled))
+        if (
+            desired.buffer_alpha is not None
+            and switch.buffer_config.alpha != desired.buffer_alpha
+        ):
+            drifts.append(
+                ConfigDrift(switch.name, "buffer_alpha", desired.buffer_alpha, switch.buffer_config.alpha)
+            )
+        if desired.ecn_enabled is not None and switch.ecn_config.enabled != desired.ecn_enabled:
+            drifts.append(
+                ConfigDrift(switch.name, "ecn_enabled", desired.ecn_enabled, switch.ecn_config.enabled)
+            )
+        return drifts
+
+    def check_host(self, host):
+        drifts = []
+        running = host.nic.pfc_config
+        desired = self.desired
+        if running.priority_mode != desired.priority_mode:
+            drifts.append(
+                ConfigDrift(host.name, "priority_mode", desired.priority_mode, running.priority_mode)
+            )
+        if running.lossless_priorities != desired.lossless_priorities:
+            drifts.append(
+                ConfigDrift(
+                    host.name,
+                    "lossless_priorities",
+                    desired.lossless_priorities,
+                    running.lossless_priorities,
+                )
+            )
+        return drifts
+
+    def check_fabric(self, fabric):
+        """All drifts across every device; empty means compliant."""
+        drifts = []
+        for switch in fabric.switches:
+            drifts.extend(self.check_switch(switch))
+        for host in fabric.hosts:
+            drifts.extend(self.check_host(host))
+        return drifts

@@ -1,0 +1,108 @@
+"""Server health tracking (paper figure 9a).
+
+The paper's data-center management system classifies servers as
+H (healthy), F (failing) or P (probation); figure 9(a) shows the NIC
+storm incident as a dip in H and a spike in F.  This tracker derives
+those states from Pingmesh results the way the incident was actually
+seen: a server whose probes (as a destination) keep failing goes F;
+once probes succeed again it passes through P (probation) before being
+declared H.
+"""
+
+import enum
+
+
+class ServerState(enum.Enum):
+    HEALTHY = "H"
+    FAILING = "F"
+    PROBATION = "P"
+
+
+class _HostHealth:
+    __slots__ = ("state", "consecutive_failures", "consecutive_successes")
+
+    def __init__(self):
+        self.state = ServerState.HEALTHY
+        self.consecutive_failures = 0
+        self.consecutive_successes = 0
+
+
+class HealthTracker:
+    """Derives H/F/P server states from probe results.
+
+    ``fail_threshold``
+        Consecutive destination-probe failures before H -> F.
+    ``probation_successes``
+        Consecutive successes needed to go F -> P and then P -> H.
+    """
+
+    def __init__(self, fail_threshold=3, probation_successes=5):
+        self.fail_threshold = fail_threshold
+        self.probation_successes = probation_successes
+        self._hosts = {}
+        self.transitions = []  # (t_ns, host, old_state, new_state)
+
+    def _host(self, name):
+        health = self._hosts.get(name)
+        if health is None:
+            health = _HostHealth()
+            self._hosts[name] = health
+        return health
+
+    def observe(self, probe_result):
+        """Feed one Pingmesh :class:`ProbeResult` (destination-keyed)."""
+        health = self._host(probe_result.dst)
+        old = health.state
+        if probe_result.ok:
+            health.consecutive_failures = 0
+            health.consecutive_successes += 1
+            if (
+                health.state == ServerState.FAILING
+                and health.consecutive_successes >= self.probation_successes
+            ):
+                health.state = ServerState.PROBATION
+                health.consecutive_successes = 0
+            elif (
+                health.state == ServerState.PROBATION
+                and health.consecutive_successes >= self.probation_successes
+            ):
+                health.state = ServerState.HEALTHY
+        else:
+            health.consecutive_successes = 0
+            health.consecutive_failures += 1
+            if health.consecutive_failures >= self.fail_threshold:
+                health.state = ServerState.FAILING
+        if health.state != old:
+            self.transitions.append(
+                (probe_result.t_ns, probe_result.dst, old, health.state)
+            )
+
+    def observe_all(self, results):
+        for result in results:
+            self.observe(result)
+        return self
+
+    # -- queries -------------------------------------------------------------------
+
+    def state_of(self, host_name):
+        return self._host(host_name).state
+
+    def census(self):
+        """{state: count} -- the figure 9(a) availability view."""
+        counts = {state: 0 for state in ServerState}
+        for health in self._hosts.values():
+            counts[health.state] += 1
+        return counts
+
+    def failing_hosts(self):
+        return sorted(
+            name
+            for name, health in self._hosts.items()
+            if health.state == ServerState.FAILING
+        )
+
+    def availability(self):
+        """Fraction of tracked servers currently healthy."""
+        if not self._hosts:
+            return 1.0
+        return self.census()[ServerState.HEALTHY] / len(self._hosts)

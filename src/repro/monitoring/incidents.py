@@ -1,0 +1,92 @@
+"""Incident detection over collected counters (paper section 6.2).
+
+Both production incidents the paper narrates manifested the same way in
+monitoring: "many of the servers were continuously receiving large
+number of PFC pause frames."  The detector flags windows where a
+device's pause receive (or transmit) rate exceeds a threshold, and
+identifies the origin device -- the paper "was able to trace down the
+origin of the PFC pause frames to a single server".
+"""
+
+
+class PauseStormIncident:
+    """A window of excessive pause activity on one device."""
+
+    __slots__ = ("device", "start_ns", "end_ns", "peak_rate", "metric")
+
+    def __init__(self, device, start_ns, end_ns, peak_rate, metric):
+        self.device = device
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        self.peak_rate = peak_rate
+        self.metric = metric
+
+    def __repr__(self):
+        return "PauseStormIncident(%s, %s, peak %.1f pauses/interval)" % (
+            self.device,
+            self.metric,
+            self.peak_rate,
+        )
+
+
+class IncidentDetector:
+    """Scans a :class:`~repro.monitoring.counters.CounterCollector`."""
+
+    def __init__(self, collector, pause_rate_threshold=100):
+        self.collector = collector
+        self.pause_rate_threshold = pause_rate_threshold
+
+    def _scan_metric(self, metric):
+        incidents = []
+        for device in self.collector.devices():
+            in_storm = None
+            peak = 0
+            for t_ns, delta in self.collector.rate_series(device, metric):
+                if delta >= self.pause_rate_threshold:
+                    if in_storm is None:
+                        in_storm = t_ns
+                        peak = delta
+                    else:
+                        peak = max(peak, delta)
+                elif in_storm is not None:
+                    incidents.append(
+                        PauseStormIncident(device, in_storm, t_ns, peak, metric)
+                    )
+                    in_storm = None
+            if in_storm is not None:
+                last_t = self.collector.snapshots[-1].t_ns
+                incidents.append(
+                    PauseStormIncident(device, in_storm, last_t, peak, metric)
+                )
+        return incidents
+
+    def pause_storms(self):
+        """Devices *receiving* storms of pause frames (the victims)."""
+        return self._scan_metric("pause_rx")
+
+    def pause_sources(self):
+        """Devices *generating* storms of pause frames (the origin)."""
+        return self._scan_metric("pause_tx")
+
+    def _is_server(self, device):
+        """Heuristic from the snapshot schema: server snapshots carry
+        the NIC's ``rx_processed`` counter, switch snapshots do not."""
+        for snapshot in self.collector.snapshots:
+            if snapshot.device == device:
+                return "rx_processed" in snapshot.values
+        return False
+
+    def trace_origin(self):
+        """The single most likely pause *source*, or None.
+
+        Mirrors the paper's incident diagnosis ("we were able to trace
+        down the origin of the PFC pause frames to a single server"):
+        switches relay and amplify pauses, so a storming *server* is
+        reported ahead of any storming switch.
+        """
+        sources = self.pause_sources()
+        if not sources:
+            return None
+        servers = [s for s in sources if self._is_server(s.device)]
+        candidates = servers or sources
+        return max(candidates, key=lambda s: s.peak_rate).device

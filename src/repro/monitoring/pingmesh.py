@@ -1,0 +1,134 @@
+"""RDMA Pingmesh: active latency measurement (paper section 5.3).
+
+"RDMA Pingmesh launches RDMA probes, with payload size 512 bytes, to the
+servers at different locations ... and logs the measured RTT (if probes
+succeed) or error code (if probes fail)."
+
+A probe here is a 512-byte SEND whose RTT is the post-to-completion time
+(the completion requires the responder's ACK, so the path is traversed
+both ways).  A probe that does not complete within the timeout is logged
+as an error -- exactly how the paper infers "RDMA is working well or
+not".
+"""
+
+from repro.rdma.qp import QpConfig
+from repro.rdma.verbs import connect_qp_pair, post_send
+from repro.sim.timer import Timer
+from repro.sim.units import MS, US
+
+PROBE_PAYLOAD_BYTES = 512
+
+
+class ProbeResult:
+    """One logged probe."""
+
+    __slots__ = ("t_ns", "src", "dst", "rtt_ns", "error")
+
+    def __init__(self, t_ns, src, dst, rtt_ns=None, error=None):
+        self.t_ns = t_ns
+        self.src = src
+        self.dst = dst
+        self.rtt_ns = rtt_ns
+        self.error = error
+
+    @property
+    def ok(self):
+        return self.error is None
+
+    def __repr__(self):
+        if self.ok:
+            return "ProbeResult(%s->%s, %dns)" % (self.src, self.dst, self.rtt_ns)
+        return "ProbeResult(%s->%s, ERROR %s)" % (self.src, self.dst, self.error)
+
+
+class _ProbePair:
+    def __init__(self, pingmesh, src, dst, qp):
+        self.pingmesh = pingmesh
+        self.src = src
+        self.dst = dst
+        self.qp = qp
+        self.outstanding_since = None
+
+    def launch(self):
+        now = self.pingmesh.sim.now
+        if self.outstanding_since is not None:
+            # Previous probe still pending: its slot timed out.
+            self.pingmesh.results.append(
+                ProbeResult(now, self.src.name, self.dst.name, error="timeout")
+            )
+        self.outstanding_since = now
+        post_send(self.qp, PROBE_PAYLOAD_BYTES, on_complete=self._done)
+
+    def _done(self, wr, completed_ns):
+        if self.outstanding_since is None:
+            return
+        rtt = completed_ns - self.outstanding_since
+        self.outstanding_since = None
+        self.pingmesh.results.append(
+            ProbeResult(completed_ns, self.src.name, self.dst.name, rtt_ns=rtt)
+        )
+
+
+class Pingmesh:
+    """Schedules probes across registered pairs."""
+
+    def __init__(self, sim, rng, interval_ns=1 * MS, traffic_class=None, qp_config=None):
+        self.sim = sim
+        self.rng = rng
+        self.interval_ns = interval_ns
+        self.qp_config = qp_config
+        self.traffic_class = traffic_class
+        self.results = []
+        self._pairs = []
+        self._timer = Timer(sim, self._tick, name="pingmesh")
+        self._running = False
+
+    def add_pair(self, src, dst):
+        """Register a probing pair (one persistent QP pair)."""
+        config = self.qp_config or QpConfig(traffic_class=self.traffic_class)
+        qp_src, _qp_dst = connect_qp_pair(src, dst, self.rng, config_a=config, config_b=config)
+        self._pairs.append(_ProbePair(self, src, dst, qp_src))
+
+    def add_full_mesh(self, hosts):
+        for src in hosts:
+            for dst in hosts:
+                if src is not dst:
+                    self.add_pair(src, dst)
+
+    def start(self):
+        self._running = True
+        self._tick()
+        return self
+
+    def stop(self):
+        self._running = False
+        self._timer.cancel()
+
+    def _tick(self):
+        for pair in self._pairs:
+            pair.launch()
+        if self._running:
+            # Heavy jitter decorrelates probes from any periodic traffic
+            # (PASTA-style sampling); without it a probe train can hide
+            # in the gaps between equally periodic bursts.
+            jitter = int(self.rng.uniform(0, self.interval_ns * 0.8))
+            self._timer.start(max(1, self.interval_ns // 2 + jitter))
+
+    # -- analysis ------------------------------------------------------------------
+
+    def rtts_ns(self):
+        return [r.rtt_ns for r in self.results if r.ok]
+
+    def error_rate(self):
+        if not self.results:
+            return 0.0
+        return sum(1 for r in self.results if not r.ok) / len(self.results)
+
+    def rtt_percentile_us(self, percentile):
+        """RTT percentile in microseconds (paper reports p99/p99.9)."""
+        from repro.analysis.percentiles import percentile as pct
+
+        rtts = self.rtts_ns()
+        if not rtts:
+            return None
+        return pct(rtts, percentile) / US

@@ -1,0 +1,27 @@
+"""Shared device plumbing: ports, links and the device base class.
+
+Both switches (:mod:`repro.switch`) and NICs (:mod:`repro.nic`) are built
+from the same primitives:
+
+* :class:`~repro.net.port.Port` -- an egress port with eight per-priority
+  queues, a control queue for pause frames, an 802.1Qbb pause state machine
+  on the transmit side, and pluggable scheduling (strict priority or DWRR).
+* :class:`~repro.net.link.Link` -- a full-duplex point-to-point link with a
+  serialization stage (line rate), propagation delay (cable length) and
+  optional random loss (FCS errors, per section 4.1's observation that
+  "packet losses can still happen for various other reasons").
+* :class:`~repro.net.device.Device` -- the base class that owns ports and
+  receives delivered packets.
+"""
+
+from repro.net.device import Device
+from repro.net.link import Link
+from repro.net.port import DwrrScheduler, Port, StrictPriorityScheduler
+
+__all__ = [
+    "Device",
+    "Link",
+    "Port",
+    "StrictPriorityScheduler",
+    "DwrrScheduler",
+]

@@ -1,0 +1,113 @@
+"""Full-duplex point-to-point links.
+
+A link joins exactly two ports.  Each direction models:
+
+* **serialization** -- ``wire_bytes`` (frame + preamble + IPG) clocked at
+  the line rate; the sending port stays busy for this long;
+* **propagation** -- a fixed delay derived from cable length.  The paper's
+  PFC headroom analysis (section 2) hinges on this: a pause frame takes a
+  propagation delay to arrive, during which the upstream keeps
+  transmitting.
+* **loss injection** -- an optional random loss probability models FCS
+  errors and switch bugs ("packet losses can still happen for various
+  other reasons", section 4.1).  Loss never applies to pause frames,
+  mirroring the far smaller exposure of 64-byte control frames.
+"""
+
+from repro.sim.units import propagation_delay_ns, serialization_delay_ns
+
+
+class Link:
+    """Connects ``port_a`` and ``port_b`` bidirectionally."""
+
+    def __init__(
+        self,
+        sim,
+        port_a,
+        port_b,
+        rate_bps,
+        delay_ns=None,
+        cable_meters=2,
+        loss_rate=0.0,
+        loss_rng=None,
+        name=None,
+    ):
+        if port_a.link is not None or port_b.link is not None:
+            raise RuntimeError("port already connected")
+        if loss_rate and loss_rng is None:
+            raise ValueError("loss_rate requires a loss_rng stream")
+        self.sim = sim
+        self.rate_bps = int(rate_bps)
+        self.delay_ns = propagation_delay_ns(cable_meters) if delay_ns is None else int(delay_ns)
+        self.loss_rate = loss_rate
+        self._loss_rng = loss_rng
+        self.name = name or "%s<->%s" % (port_a.name, port_b.name)
+        self.port_a = port_a
+        self.port_b = port_b
+        port_a.link = self
+        port_b.link = self
+        port_a.peer = port_b
+        port_b.peer = port_a
+        self.up = True
+        # Counters.
+        self.delivered = 0
+        self.lost = 0
+
+    def other(self, port):
+        """The port at the far end from ``port``."""
+        if port is self.port_a:
+            return self.port_b
+        if port is self.port_b:
+            return self.port_a
+        raise ValueError("port %s is not on link %s" % (port.name, self.name))
+
+    def transmit(self, from_port, packet):
+        """Start clocking ``packet`` out of ``from_port``.
+
+        Returns the serialization delay (ns); the caller keeps the port
+        busy for that long.  Delivery at the far end is scheduled for
+        serialization + propagation later (cut-through is not modelled;
+        the paper's switches are store-and-forward shared-buffer parts).
+        """
+        serialization_ns = serialization_delay_ns(packet.wire_bytes, self.rate_bps)
+        if not self.up:
+            self.lost += 1
+            return serialization_ns
+        if (
+            self.loss_rate
+            and not packet.is_pause
+            and self._loss_rng.random() < self.loss_rate
+        ):
+            self.lost += 1
+            return serialization_ns
+        destination = self.other(from_port)
+        self.sim.schedule(serialization_ns + self.delay_ns, destination.deliver, packet)
+        self.delivered += 1
+        return serialization_ns
+
+    def set_down(self):
+        """Take the link down: frames in flight still arrive; new frames
+        are black-holed."""
+        self.up = False
+
+    def set_up(self):
+        self.up = True
+
+    def __repr__(self):
+        return "Link(%s, %d b/s, %dns%s)" % (
+            self.name,
+            self.rate_bps,
+            self.delay_ns,
+            "" if self.up else ", DOWN",
+        )
+
+
+def connect(sim, device_a, device_b, rate_bps, **kwargs):
+    """Convenience: allocate a fresh port on each device and link them.
+
+    Returns ``(port_a, port_b, link)``.
+    """
+    port_a = device_a.add_port()
+    port_b = device_b.add_port()
+    link = Link(sim, port_a, port_b, rate_bps, **kwargs)
+    return port_a, port_b, link

@@ -1,0 +1,34 @@
+"""The RDMA NIC model and the host that owns it.
+
+The paper's hard-won lesson is that "NICs are the key to make
+RDMA/RoCEv2 work" (section 6.3): most production bugs were NIC bugs.
+This subpackage models the NIC behaviours those bugs came from:
+
+* a **receive pipeline** with finite buffering that generates PFC pause
+  frames toward the ToR when it falls behind (figure 2's receiver side);
+* the **MTT cache** (:mod:`~repro.nic.mtt`): 2K translation entries whose
+  misses stall the pipeline -- the slow-receiver symptom of section 4.4;
+* a **fault injection** hook reproducing the section 4.3 bug where the
+  pipeline stops entirely and the NIC emits pause frames forever;
+* the **NIC-side storm watchdog**: a micro-controller that disables pause
+  generation when the pipeline has been stopped too long (default
+  100 ms) -- and, per the paper, never re-enables it;
+* a **transmit scheduler** that round-robins among registered sources
+  (QPs, TCP connections) honouring their pacing (DCQCN rate limits).
+
+:class:`~repro.nic.host.Host` bundles a NIC with an address identity and
+the transport engines.
+"""
+
+from repro.nic.host import Host
+from repro.nic.mtt import MttCache, MttConfig
+from repro.nic.nic import Nic, NicConfig, NicWatchdogConfig
+
+__all__ = [
+    "Nic",
+    "NicConfig",
+    "NicWatchdogConfig",
+    "MttCache",
+    "MttConfig",
+    "Host",
+]

@@ -1,0 +1,88 @@
+"""The NIC's Memory Translation Table (MTT) cache.
+
+Section 4.4: "The NIC has a Memory Translation Table (MTT) which
+translates the virtual memory to the physical memory.  The MTT has only
+2K entries.  For 4KB page size, 2K MTT entries can only handle 8MB
+memory."  A miss forces the NIC to fetch the entry from host DRAM over
+PCIe, stalling the receive pipeline; enough stalls back up the receive
+buffer past the PFC threshold and the NIC starts pausing its ToR -- the
+*slow-receiver symptom*.
+
+The paper's mitigation is a 2 MB page size, which the same 2K entries
+stretch to 4 GB of coverage.
+"""
+
+import collections
+
+from repro.sim.units import KB
+
+
+class MttConfig:
+    """MTT geometry and miss cost.
+
+    ``miss_penalty_ns`` is one host-DRAM fetch across PCIe (~1 us class
+    latency on the paper's PCIe Gen3 parts).
+    """
+
+    def __init__(self, entries=2048, page_bytes=4 * KB, miss_penalty_ns=1200, enabled=True):
+        if entries <= 0:
+            raise ValueError("MTT needs at least one entry")
+        if page_bytes <= 0 or page_bytes & (page_bytes - 1):
+            raise ValueError("page size must be a positive power of two: %r" % (page_bytes,))
+        self.entries = entries
+        self.page_bytes = page_bytes
+        self.miss_penalty_ns = miss_penalty_ns
+        self.enabled = enabled
+
+    @property
+    def coverage_bytes(self):
+        """Memory addressable without misses (8 MB at 4 KB pages)."""
+        return self.entries * self.page_bytes
+
+
+class MttCache:
+    """An LRU translation cache."""
+
+    def __init__(self, config):
+        self.config = config
+        self._lru = collections.OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def touch(self, vaddr, nbytes):
+        """Access ``nbytes`` at ``vaddr``; returns the stall in ns."""
+        if not self.config.enabled or nbytes <= 0:
+            return 0
+        page_bytes = self.config.page_bytes
+        first = vaddr // page_bytes
+        last = (vaddr + nbytes - 1) // page_bytes
+        stall = 0
+        for page in range(first, last + 1):
+            if page in self._lru:
+                self._lru.move_to_end(page)
+                self.hits += 1
+            else:
+                self.misses += 1
+                stall += self.config.miss_penalty_ns
+                self._lru[page] = True
+                if len(self._lru) > self.config.entries:
+                    self._lru.popitem(last=False)
+        return stall
+
+    @property
+    def occupancy(self):
+        return len(self._lru)
+
+    @property
+    def miss_rate(self):
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.misses / total
+
+    def __repr__(self):
+        return "MttCache(%d/%d entries, %.1f%% misses)" % (
+            self.occupancy,
+            self.config.entries,
+            100 * self.miss_rate,
+        )

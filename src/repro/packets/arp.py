@@ -1,0 +1,80 @@
+"""ARP request/reply packets.
+
+ARP matters to the reproduction because the PFC deadlock of section 4.2 is
+triggered by the *disparate timeouts* of the switch's ARP table (4 hours,
+refreshed by ARP packets through the switch CPU) and MAC address table
+(5 minutes, refreshed in hardware by received traffic).  When a server dies,
+its MAC-table entry expires long before its ARP entry, producing an
+"incomplete" entry whose packets are flooded.
+"""
+
+import struct
+
+ARP_BYTES = 28
+
+OP_REQUEST = 1
+OP_REPLY = 2
+
+
+class ArpPacket:
+    """An Ethernet/IPv4 ARP packet."""
+
+    __slots__ = ("op", "sender_mac", "sender_ip", "target_mac", "target_ip")
+
+    def __init__(self, op, sender_mac, sender_ip, target_mac, target_ip):
+        if op not in (OP_REQUEST, OP_REPLY):
+            raise ValueError("ARP op must be request(1) or reply(2): %r" % (op,))
+        self.op = op
+        self.sender_mac = sender_mac
+        self.sender_ip = sender_ip
+        self.target_mac = target_mac
+        self.target_ip = target_ip
+
+    @classmethod
+    def request(cls, sender_mac, sender_ip, target_ip):
+        return cls(OP_REQUEST, sender_mac, sender_ip, 0, target_ip)
+
+    @classmethod
+    def reply(cls, sender_mac, sender_ip, target_mac, target_ip):
+        return cls(OP_REPLY, sender_mac, sender_ip, target_mac, target_ip)
+
+    @property
+    def is_request(self):
+        return self.op == OP_REQUEST
+
+    @property
+    def size_bytes(self):
+        return ARP_BYTES
+
+    def pack(self):
+        return struct.pack(
+            "!HHBBH6sI6sI",
+            1,  # htype: Ethernet
+            0x0800,  # ptype: IPv4
+            6,
+            4,
+            self.op,
+            self.sender_mac.to_bytes(6, "big"),
+            self.sender_ip,
+            self.target_mac.to_bytes(6, "big"),
+            self.target_ip,
+        )
+
+    @classmethod
+    def unpack(cls, data):
+        htype, ptype, hlen, plen, op, smac, sip, tmac, tip = struct.unpack(
+            "!HHBBH6sI6sI", data[:ARP_BYTES]
+        )
+        if (htype, ptype, hlen, plen) != (1, 0x0800, 6, 4):
+            raise ValueError("unsupported ARP encoding")
+        return cls(
+            op=op,
+            sender_mac=int.from_bytes(smac, "big"),
+            sender_ip=sip,
+            target_mac=int.from_bytes(tmac, "big"),
+            target_ip=tip,
+        )
+
+    def __repr__(self):
+        kind = "request" if self.is_request else "reply"
+        return "ArpPacket(%s, sender_ip=%d, target_ip=%d)" % (kind, self.sender_ip, self.target_ip)

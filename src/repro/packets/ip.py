@@ -1,0 +1,169 @@
+"""IPv4 header with first-class DSCP and ECN fields.
+
+DSCP (the six high bits of the old ToS byte) is the field the paper moves
+packet priority into (figure 3b): unlike the VLAN PCP, it survives IP
+routing across subnets and requires no trunk-mode ports.  ECN (the two low
+bits) carries DCQCN's congestion signal.
+"""
+
+import struct
+
+IPPROTO_ICMP = 1
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+
+IPV4_HEADER_BYTES = 20
+
+# ECN codepoints (RFC 3168).
+ECN_NOT_ECT = 0b00
+ECN_ECT1 = 0b01
+ECN_ECT0 = 0b10
+ECN_CE = 0b11
+
+
+def ip_to_str(addr):
+    """Render a 32-bit integer IPv4 address dotted-quad."""
+    return ".".join(str((addr >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def ip_from_str(text):
+    """Parse a dotted-quad IPv4 address to a 32-bit integer."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError("malformed IPv4 address: %r" % (text,))
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError("malformed IPv4 address: %r" % (text,))
+        value = (value << 8) | octet
+    return value
+
+
+def checksum16(data):
+    """RFC 1071 ones'-complement checksum over ``data``."""
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+class Ipv4Header:
+    """A 20-byte (no options) IPv4 header.
+
+    ``identification`` matters here beyond its usual role: the livelock
+    experiment in section 4.1 drops "any packet with the least significant
+    byte of IP ID equals to 0xff", exploiting the NIC's sequential ID
+    assignment to get a deterministic 1/256 drop rate.
+    """
+
+    __slots__ = (
+        "dscp",
+        "ecn",
+        "total_length",
+        "identification",
+        "ttl",
+        "protocol",
+        "src",
+        "dst",
+    )
+
+    def __init__(
+        self,
+        src,
+        dst,
+        protocol=IPPROTO_UDP,
+        dscp=0,
+        ecn=ECN_NOT_ECT,
+        total_length=IPV4_HEADER_BYTES,
+        identification=0,
+        ttl=64,
+    ):
+        if not 0 <= dscp <= 63:
+            raise ValueError("DSCP is 6 bits: %r" % (dscp,))
+        if not 0 <= ecn <= 3:
+            raise ValueError("ECN is 2 bits: %r" % (ecn,))
+        if not 0 <= identification <= 0xFFFF:
+            raise ValueError("IP ID is 16 bits: %r" % (identification,))
+        self.src = src
+        self.dst = dst
+        self.protocol = protocol
+        self.dscp = dscp
+        self.ecn = ecn
+        self.total_length = total_length
+        self.identification = identification
+        self.ttl = ttl
+
+    @property
+    def size_bytes(self):
+        return IPV4_HEADER_BYTES
+
+    @property
+    def ect_capable(self):
+        """True if the packet advertises ECN-capable transport."""
+        return self.ecn in (ECN_ECT0, ECN_ECT1)
+
+    @property
+    def ce_marked(self):
+        """True if a congested switch has marked the packet."""
+        return self.ecn == ECN_CE
+
+    def mark_ce(self):
+        """Set the Congestion Experienced codepoint (switch-side marking)."""
+        self.ecn = ECN_CE
+
+    def pack(self):
+        """Serialize to 20 bytes with a valid header checksum."""
+        version_ihl = (4 << 4) | 5
+        tos = (self.dscp << 2) | self.ecn
+        header = struct.pack(
+            "!BBHHHBBHII",
+            version_ihl,
+            tos,
+            self.total_length,
+            self.identification,
+            0,  # flags + fragment offset: never fragmented in a DCN
+            self.ttl,
+            self.protocol,
+            0,  # checksum placeholder
+            self.src,
+            self.dst,
+        )
+        cksum = checksum16(header)
+        return header[:10] + struct.pack("!H", cksum) + header[12:]
+
+    @classmethod
+    def unpack(cls, data):
+        """Parse 20 bytes; raises on a bad checksum or non-IPv4 version."""
+        if len(data) < IPV4_HEADER_BYTES:
+            raise ValueError("IPv4 header too short: %d bytes" % len(data))
+        fields = struct.unpack("!BBHHHBBHII", data[:IPV4_HEADER_BYTES])
+        version_ihl, tos, total_length, ident, _frag, ttl, proto, cksum, src, dst = fields
+        if version_ihl >> 4 != 4:
+            raise ValueError("not IPv4: version=%d" % (version_ihl >> 4))
+        if checksum16(data[:IPV4_HEADER_BYTES]) != 0:
+            raise ValueError("IPv4 header checksum mismatch")
+        return cls(
+            src=src,
+            dst=dst,
+            protocol=proto,
+            dscp=tos >> 2,
+            ecn=tos & 0b11,
+            total_length=total_length,
+            identification=ident,
+            ttl=ttl,
+        )
+
+    def __repr__(self):
+        return "Ipv4Header(%s -> %s, proto=%d, dscp=%d, ecn=%d, id=0x%04x)" % (
+            ip_to_str(self.src),
+            ip_to_str(self.dst),
+            self.protocol,
+            self.dscp,
+            self.ecn,
+            self.identification,
+        )

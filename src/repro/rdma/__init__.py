@@ -1,0 +1,45 @@
+"""The RoCEv2 RDMA transport.
+
+* :mod:`~repro.rdma.qp` -- reliable-connected queue pairs: segmentation
+  into MTU-sized BTH packets, PSN accounting, ACK/NAK generation and the
+  requester's retransmission machinery.
+* :mod:`~repro.rdma.recovery` -- the pluggable loss-recovery policy:
+  **go-back-0** (the vendor's original firmware, which livelocks under a
+  deterministic 1/256 drop -- section 4.1) and **go-back-N** (the fix the
+  paper deployed).
+* :mod:`~repro.rdma.engine` -- per-host transport engine: packet
+  dispatch, the DCQCN notification point (CNP generation), verbs-level
+  completions.
+* :mod:`~repro.rdma.verbs` -- the user-facing API: connect a QP pair,
+  post SEND / WRITE / READ work requests.
+"""
+
+from repro.rdma.cq import CompletionQueue, WorkCompletion
+from repro.rdma.engine import RdmaEngine
+from repro.rdma.qp import QpConfig, QueuePair, TrafficClass, WorkRequest
+from repro.rdma.recovery import GoBack0, GoBackN, RecoveryPolicy
+from repro.rdma.verbs import (
+    connect_qp_pair,
+    post_read,
+    post_recv,
+    post_send,
+    post_write,
+)
+
+__all__ = [
+    "RdmaEngine",
+    "QueuePair",
+    "QpConfig",
+    "TrafficClass",
+    "WorkRequest",
+    "RecoveryPolicy",
+    "GoBack0",
+    "GoBackN",
+    "connect_qp_pair",
+    "post_send",
+    "post_write",
+    "post_read",
+    "post_recv",
+    "CompletionQueue",
+    "WorkCompletion",
+]

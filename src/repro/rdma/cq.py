@@ -1,0 +1,85 @@
+"""Completion queues: the polled half of the verbs interface.
+
+Real verbs applications rarely use upcalls; they post work requests and
+poll a completion queue (CQ).  This module provides that shape so that
+code written against the reproduction reads like code written against
+libibverbs::
+
+    cq = CompletionQueue(capacity=256)
+    post_send(qp, 4 * MB, cq=cq)
+    ...
+    for wc in cq.poll(16):
+        assert wc.ok
+        handle(wc.wr_id)
+
+A full CQ drops new completions and counts them as overflows (the verbs
+contract: size your CQ for your queue depth).
+"""
+
+import collections
+
+
+class WorkCompletion:
+    """One completion entry."""
+
+    __slots__ = ("wr_id", "kind", "size_bytes", "status", "completed_ns")
+
+    STATUS_OK = "ok"
+    STATUS_FLUSHED = "flushed"
+
+    def __init__(self, wr_id, kind, size_bytes, completed_ns, status=STATUS_OK):
+        self.wr_id = wr_id
+        self.kind = kind
+        self.size_bytes = size_bytes
+        self.completed_ns = completed_ns
+        self.status = status
+
+    @property
+    def ok(self):
+        return self.status == self.STATUS_OK
+
+    def __repr__(self):
+        return "WorkCompletion(wr=%d, %s, %dB, %s)" % (
+            self.wr_id,
+            self.kind,
+            self.size_bytes,
+            self.status,
+        )
+
+
+class CompletionQueue:
+    """A bounded FIFO of work completions."""
+
+    def __init__(self, capacity=1024):
+        if capacity <= 0:
+            raise ValueError("CQ capacity must be positive")
+        self.capacity = capacity
+        self._entries = collections.deque()
+        self.overflows = 0
+        self.total_completions = 0
+
+    def push(self, completion):
+        """Internal: transports deliver completions here."""
+        if len(self._entries) >= self.capacity:
+            self.overflows += 1
+            return False
+        self._entries.append(completion)
+        self.total_completions += 1
+        return True
+
+    def poll(self, max_entries=16):
+        """Dequeue up to ``max_entries`` completions (verbs ibv_poll_cq)."""
+        polled = []
+        while self._entries and len(polled) < max_entries:
+            polled.append(self._entries.popleft())
+        return polled
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __repr__(self):
+        return "CompletionQueue(%d/%d queued, %d overflows)" % (
+            len(self._entries),
+            self.capacity,
+            self.overflows,
+        )

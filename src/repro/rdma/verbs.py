@@ -1,0 +1,107 @@
+"""The user-facing verbs API.
+
+Mirrors the small slice of the verbs interface the paper's services use:
+connect a reliable-connected QP pair between two hosts, then post SEND,
+WRITE or READ work requests.
+
+    qp_a, qp_b = connect_qp_pair(sim, host_a, host_b, rng)
+    post_send(qp_a, 4 * MB, on_complete=record)
+    post_read(qp_b, 4 * MB)   # B reads from A
+
+Each QP picks a random UDP source port from the ephemeral range, which
+is what spreads QPs over ECMP paths (section 2).
+"""
+
+from repro.rdma.cq import CompletionQueue, WorkCompletion
+from repro.rdma.qp import QpConfig, WorkRequest
+
+EPHEMERAL_PORT_LO = 49152
+EPHEMERAL_PORT_HI = 65535
+
+
+def connect_qp_pair(host_a, host_b, rng, config_a=None, config_b=None):
+    """Create and connect a QP on each host; returns ``(qp_a, qp_b)``.
+
+    ``rng`` draws the per-QP random UDP source ports.  ``config_a`` /
+    ``config_b`` default to a fresh :class:`QpConfig` each.
+    """
+    if host_a is host_b:
+        raise ValueError("loopback QPs are not modelled")
+    engine_a = _engine_of(host_a)
+    engine_b = _engine_of(host_b)
+    qp_a = engine_a.create_qp(
+        config_a or QpConfig(), rng.randint(EPHEMERAL_PORT_LO, EPHEMERAL_PORT_HI)
+    )
+    qp_b = engine_b.create_qp(
+        config_b or QpConfig(), rng.randint(EPHEMERAL_PORT_LO, EPHEMERAL_PORT_HI)
+    )
+    qp_a.remote_qpn = qp_b.qpn
+    qp_b.remote_qpn = qp_a.qpn
+    qp_a.remote_ip = host_b.ip
+    qp_b.remote_ip = host_a.ip
+    qp_a.remote_mac = host_b.mac
+    qp_b.remote_mac = host_a.mac
+    return qp_a, qp_b
+
+
+def _engine_of(host):
+    engine = getattr(host, "rdma", None)
+    if engine is None:
+        from repro.rdma.engine import RdmaEngine
+
+        engine = RdmaEngine(host)
+        host.rdma = engine
+    return engine
+
+
+def _post(qp, kind, size_bytes, on_complete, cq):
+    if cq is not None:
+        user_callback = on_complete
+
+        def on_complete(wr, completed_ns):
+            cq.push(
+                WorkCompletion(
+                    wr_id=wr.wr_id,
+                    kind=wr.kind,
+                    size_bytes=wr.size_bytes,
+                    completed_ns=completed_ns,
+                )
+            )
+            if user_callback is not None:
+                user_callback(wr, completed_ns)
+
+    return qp.post(WorkRequest(kind, size_bytes, on_complete))
+
+
+def post_send(qp, size_bytes, on_complete=None, cq=None):
+    """Post an RDMA SEND of ``size_bytes`` to the peer.
+
+    Completion is signalled via ``on_complete(wr, t_ns)`` and/or a
+    :class:`~repro.rdma.cq.CompletionQueue` entry when ``cq`` is given.
+    """
+    return _post(qp, "send", size_bytes, on_complete, cq)
+
+
+def post_write(qp, size_bytes, on_complete=None, cq=None):
+    """Post an RDMA WRITE of ``size_bytes`` into the peer's memory."""
+    return _post(qp, "write", size_bytes, on_complete, cq)
+
+
+def post_read(qp, size_bytes, on_complete=None, cq=None):
+    """Post an RDMA READ of ``size_bytes`` from the peer's memory.
+
+    Completion fires when the full response stream has arrived."""
+    return _post(qp, "read", size_bytes, on_complete, cq)
+
+
+def post_recv(qp, count=1):
+    """Post ``count`` receive work requests on ``qp``.
+
+    Only meaningful with ``QpConfig(require_posted_receives=True)``:
+    each incoming SEND message consumes one; with none available the
+    responder answers RNR NAK and the sender retries after its backoff.
+    """
+    if count <= 0:
+        raise ValueError("post at least one receive WQE")
+    qp.recv_credits += count
+    return qp.recv_credits

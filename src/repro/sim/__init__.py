@@ -1,0 +1,53 @@
+"""Discrete-event simulation core.
+
+This subpackage provides the minimal, deterministic machinery that every
+other part of the reproduction is built on:
+
+* :class:`~repro.sim.engine.Simulator` -- an event loop with an integer
+  nanosecond clock and FIFO tie-breaking, so runs replay bit-for-bit.
+* :class:`~repro.sim.engine.Event` -- a cancellable scheduled callback.
+* :class:`~repro.sim.timer.Timer` -- a restartable one-shot timer, the
+  building block for watchdogs, retransmission timers and DCQCN's
+  periodic rate updates.
+* :mod:`~repro.sim.units` -- unit helpers (nanoseconds, Gb/s, KB/MB) so
+  that magic numbers in the model read like the paper's text.
+* :class:`~repro.sim.rng.SeededRng` -- a named, seeded random stream per
+  component, keeping stochastic workloads reproducible.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.rng import SeededRng
+from repro.sim.timer import Timer
+from repro.sim.units import (
+    GBPS,
+    KB,
+    MB,
+    MS,
+    NS,
+    SEC,
+    US,
+    bits_to_bytes,
+    bytes_to_bits,
+    fmt_time,
+    gbps,
+    serialization_delay_ns,
+)
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "SeededRng",
+    "Timer",
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+    "KB",
+    "MB",
+    "GBPS",
+    "gbps",
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "serialization_delay_ns",
+    "fmt_time",
+]

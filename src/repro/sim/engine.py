@@ -1,0 +1,169 @@
+"""The discrete-event engine.
+
+A :class:`Simulator` owns an integer-nanosecond clock and a priority queue
+of :class:`Event` callbacks.  Events scheduled for the same instant fire in
+the order they were scheduled (FIFO tie-breaking via a monotonically
+increasing sequence number), which keeps runs fully deterministic.
+
+The engine is intentionally tiny -- everything else in the reproduction
+(links, switches, NICs, transports) is expressed as plain objects that
+schedule callbacks on a shared ``Simulator``.
+"""
+
+import heapq
+
+
+class SimulationError(Exception):
+    """Raised for invalid use of the simulation engine."""
+
+
+class Event:
+    """A scheduled callback; returned by :meth:`Simulator.schedule`.
+
+    Events may be cancelled before they fire.  Cancelled events stay in the
+    heap but are skipped when popped (lazy deletion), which is O(1) per
+    cancel instead of O(n).
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time, seq, fn, args):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+        self.fn = None
+        self.args = None
+
+    def __lt__(self, other):
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "pending"
+        return "Event(t=%d, seq=%d, %s)" % (self.time, self.seq, state)
+
+
+class Simulator:
+    """A deterministic discrete-event simulator with a nanosecond clock."""
+
+    def __init__(self):
+        self._now = 0
+        self._seq = 0
+        self._queue = []
+        self._running = False
+        self._events_fired = 0
+
+    @property
+    def now(self):
+        """Current simulated time in integer nanoseconds."""
+        return self._now
+
+    @property
+    def events_fired(self):
+        """Total number of callbacks executed so far."""
+        return self._events_fired
+
+    @property
+    def pending(self):
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def at(self, time, fn, *args):
+        """Schedule ``fn(*args)`` at absolute simulated ``time``.
+
+        ``time`` must not be in the past.  Returns the :class:`Event` so the
+        caller can cancel it.
+        """
+        if time < self._now:
+            raise SimulationError(
+                "cannot schedule event at t=%d; clock is already at t=%d"
+                % (time, self._now)
+            )
+        event = Event(int(time), self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule(self, delay, fn, *args):
+        """Schedule ``fn(*args)`` ``delay`` nanoseconds from now."""
+        if delay < 0:
+            raise SimulationError("delay cannot be negative: %r" % (delay,))
+        return self.at(self._now + int(delay), fn, *args)
+
+    def call_soon(self, fn, *args):
+        """Schedule ``fn(*args)`` at the current instant (after pending
+        same-time events already in the queue)."""
+        return self.at(self._now, fn, *args)
+
+    def step(self):
+        """Fire the single next event.  Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            fn, args = event.fn, event.args
+            # Free references before the callback runs so callbacks that
+            # re-schedule themselves do not pin stale argument tuples.
+            event.fn = None
+            event.args = None
+            self._events_fired += 1
+            fn(*args)
+            return True
+        return False
+
+    def run(self, until=None, max_events=None):
+        """Run events in order.
+
+        ``until``
+            Inclusive simulated-time horizon in nanoseconds.  Events at
+            exactly ``until`` fire; the clock is advanced to ``until`` when
+            the run ends early (idle), so back-to-back ``run`` calls
+            compose.
+        ``max_events``
+            Safety valve for experiments that can livelock *by design*
+            (the paper's go-back-0 experiment never terminates on its own).
+
+        Returns the number of events fired by this call.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                if max_events is not None and fired >= max_events:
+                    break
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                fn, args = event.fn, event.args
+                event.fn = None
+                event.args = None
+                self._events_fired += 1
+                fired += 1
+                fn(*args)
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return fired
+
+    def run_until_idle(self, max_events=None):
+        """Run until no events remain (or ``max_events`` is hit)."""
+        return self.run(until=None, max_events=max_events)
+
+    def __repr__(self):
+        return "Simulator(now=%d, pending=%d)" % (self._now, len(self._queue))

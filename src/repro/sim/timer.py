@@ -1,0 +1,65 @@
+"""A restartable one-shot timer.
+
+Watchdogs (paper section 4.3), retransmission timers, DCQCN's periodic alpha
+and rate-increase timers, and pause-duration expiry all follow the same
+pattern: arm a callback some delay in the future, possibly re-arm or cancel
+it before it fires.  :class:`Timer` wraps that pattern so that model code
+never has to track raw :class:`~repro.sim.engine.Event` handles.
+"""
+
+
+class Timer:
+    """One-shot timer bound to a simulator and a callback.
+
+    The callback is invoked with no arguments when the timer expires.
+    Restarting an armed timer cancels the previous deadline first.
+    """
+
+    def __init__(self, sim, callback, name=""):
+        self._sim = sim
+        self._callback = callback
+        self._event = None
+        self.name = name
+
+    @property
+    def armed(self):
+        """True while a deadline is pending."""
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def deadline(self):
+        """Absolute expiry time (ns), or None when not armed."""
+        if self.armed:
+            return self._event.time
+        return None
+
+    def start(self, delay_ns):
+        """Arm (or re-arm) the timer to fire ``delay_ns`` from now."""
+        self.cancel()
+        self._event = self._sim.schedule(delay_ns, self._fire)
+
+    def start_at(self, time_ns):
+        """Arm (or re-arm) the timer to fire at absolute ``time_ns``."""
+        self.cancel()
+        self._event = self._sim.at(time_ns, self._fire)
+
+    def extend_to(self, time_ns):
+        """Push the deadline out to ``time_ns`` if that is later than the
+        current deadline (arming the timer if it is idle)."""
+        if not self.armed or self._event.time < time_ns:
+            self.start_at(time_ns)
+
+    def cancel(self):
+        """Disarm the timer.  Idempotent."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self):
+        self._event = None
+        self._callback()
+
+    def __repr__(self):
+        if self.armed:
+            return "Timer(%s, fires_at=%d)" % (self.name, self._event.time)
+        return "Timer(%s, idle)" % (self.name,)

@@ -1,0 +1,91 @@
+"""Unit helpers for the simulator.
+
+All simulated time is kept in **integer nanoseconds** and all bandwidth in
+**bits per second**.  Integer time gives deterministic event ordering (no
+floating-point accumulation drift between runs), which matters because the
+deadlock and livelock experiments in the paper are sensitive to exact event
+interleavings.
+
+The constants let model code read like the paper's prose::
+
+    headroom = 2 * propagation_delay_ns(300)   # "as large as 300 meters"
+    xoff = 384 * KB
+    link = Link(rate_bps=40 * GBPS, ...)
+"""
+
+# --- time ------------------------------------------------------------------
+
+NS = 1
+US = 1_000
+MS = 1_000_000
+SEC = 1_000_000_000
+
+# --- data size -------------------------------------------------------------
+
+KB = 1_024
+MB = 1_024 * 1_024
+
+# --- bandwidth -------------------------------------------------------------
+
+GBPS = 1_000_000_000
+MBPS = 1_000_000
+
+
+def gbps(value):
+    """Bandwidth in bits/second for ``value`` gigabits per second."""
+    return int(value * GBPS)
+
+
+def bytes_to_bits(nbytes):
+    """Number of bits in ``nbytes`` bytes."""
+    return nbytes * 8
+
+
+def bits_to_bytes(nbits):
+    """Number of whole bytes covering ``nbits`` bits."""
+    return (nbits + 7) // 8
+
+
+def serialization_delay_ns(nbytes, rate_bps):
+    """Time (ns) to clock ``nbytes`` onto a wire running at ``rate_bps``.
+
+    Rounds up so that a sequence of back-to-back transmissions can never
+    exceed the physical line rate.
+    """
+    if rate_bps <= 0:
+        raise ValueError("rate_bps must be positive, got %r" % (rate_bps,))
+    bits = bytes_to_bits(nbytes)
+    return -(-bits * SEC // rate_bps)  # ceiling division
+
+
+# Signal propagation speed in copper/fiber is ~2/3 c; the paper sizes PFC
+# headroom from cable length ("Leaf and Spine switches are within the
+# distance of 200 - 300 meters").
+_PROPAGATION_NS_PER_METER = 5  # 1 / (0.66 * 3e8 m/s) ~= 5 ns/m
+
+
+def propagation_delay_ns(meters):
+    """Propagation delay (ns) across ``meters`` of cable or fiber."""
+    if meters < 0:
+        raise ValueError("cable length cannot be negative: %r" % (meters,))
+    return int(meters * _PROPAGATION_NS_PER_METER)
+
+
+def fmt_time(t_ns):
+    """Render an integer-nanosecond timestamp human-readably."""
+    if t_ns >= SEC:
+        return "%.3fs" % (t_ns / SEC)
+    if t_ns >= MS:
+        return "%.3fms" % (t_ns / MS)
+    if t_ns >= US:
+        return "%.3fus" % (t_ns / US)
+    return "%dns" % t_ns
+
+
+def fmt_rate(rate_bps):
+    """Render a bandwidth in the customary unit."""
+    if rate_bps >= GBPS:
+        return "%.2fGb/s" % (rate_bps / GBPS)
+    if rate_bps >= MBPS:
+        return "%.2fMb/s" % (rate_bps / MBPS)
+    return "%db/s" % rate_bps

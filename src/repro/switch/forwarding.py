@@ -1,0 +1,202 @@
+"""Forwarding state: L3 routes with ECMP, and the ToR's L2 machinery.
+
+Section 4.2 of the paper explains how a ToR forwards an IP packet to a
+directly attached server, and why that process can end in *flooding*:
+
+* the **ARP table** (IP -> MAC) is maintained by the switch CPU from ARP
+  packets and times out after ~4 hours;
+* the **MAC address table** (MAC -> port) is refreshed in hardware by
+  received traffic and times out after ~5 minutes;
+* the disparity means a dead server's MAC-table entry expires while its
+  ARP entry survives -- an "incomplete" entry.  A packet for such a MAC
+  has a known next-hop MAC but no port, and "the standard behavior in
+  this case is for the switch to flood the packet to all its ports".
+
+That flooding, combined with PFC, is what builds the cyclic buffer
+dependency of figure 4.  The fix the paper chose (option 3) is
+:attr:`ForwardingTables.drop_lossless_on_incomplete_arp`.
+"""
+
+from repro.sim.units import SEC
+
+ARP_TIMEOUT_NS = 4 * 3600 * SEC  # 4 hours (section 4.2)
+MAC_TIMEOUT_NS = 5 * 60 * SEC  # 5 minutes (section 4.2)
+
+
+class _Entry:
+    __slots__ = ("value", "expires_at")
+
+    def __init__(self, value, expires_at):
+        self.value = value
+        self.expires_at = expires_at
+
+
+class AgingTable:
+    """A table whose entries expire; expiry is evaluated lazily on lookup."""
+
+    def __init__(self, sim, timeout_ns, name):
+        self.sim = sim
+        self.timeout_ns = timeout_ns
+        self.name = name
+        self._entries = {}
+
+    def learn(self, key, value):
+        """Insert or refresh an entry."""
+        self._entries[key] = _Entry(value, self.sim.now + self.timeout_ns)
+
+    def lookup(self, key):
+        """Return the live value for ``key`` or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if entry.expires_at <= self.sim.now:
+            del self._entries[key]
+            return None
+        return entry.value
+
+    def expire(self, key):
+        """Administratively remove an entry (models timeout without
+        simulating minutes of idle time)."""
+        self._entries.pop(key, None)
+
+    def __contains__(self, key):
+        return self.lookup(key) is not None
+
+    def __len__(self):
+        now = self.sim.now
+        return sum(1 for e in self._entries.values() if e.expires_at > now)
+
+
+class Route:
+    """One L3 route: ``prefix/prefix_len`` -> a set of next-hop ports."""
+
+    __slots__ = ("prefix", "prefix_len", "ports")
+
+    def __init__(self, prefix, prefix_len, ports):
+        if not 0 <= prefix_len <= 32:
+            raise ValueError("bad prefix length: %r" % (prefix_len,))
+        if not ports:
+            raise ValueError("route needs at least one next-hop port")
+        mask = _mask(prefix_len)
+        self.prefix = prefix & mask
+        self.prefix_len = prefix_len
+        self.ports = list(ports)
+
+    def matches(self, addr):
+        return (addr & _mask(self.prefix_len)) == self.prefix
+
+
+def _mask(prefix_len):
+    if prefix_len == 0:
+        return 0
+    return ((1 << prefix_len) - 1) << (32 - prefix_len)
+
+
+class ForwardDecision:
+    """Outcome of a forwarding lookup."""
+
+    __slots__ = ("action", "ports", "reason")
+
+    FORWARD = "forward"
+    FLOOD = "flood"
+    DROP = "drop"
+
+    def __init__(self, action, ports=(), reason=""):
+        self.action = action
+        self.ports = list(ports)
+        self.reason = reason
+
+    def __repr__(self):
+        return "ForwardDecision(%s, ports=%r, %s)" % (self.action, self.ports, self.reason)
+
+
+class ForwardingTables:
+    """Routing + L2 state for one switch.
+
+    ``local_subnet``
+        ``(prefix, prefix_len)`` of the directly attached server subnet
+        (ToRs only); packets to it go through ARP + MAC resolution.
+    ``drop_lossless_on_incomplete_arp``
+        The paper's deadlock fix: instead of flooding a lossless packet
+        whose ARP entry is incomplete, drop it.
+    """
+
+    def __init__(
+        self,
+        sim,
+        local_subnet=None,
+        arp_timeout_ns=ARP_TIMEOUT_NS,
+        mac_timeout_ns=MAC_TIMEOUT_NS,
+        drop_lossless_on_incomplete_arp=False,
+    ):
+        self.sim = sim
+        self.local_subnet = local_subnet
+        self.arp_table = AgingTable(sim, arp_timeout_ns, "arp")
+        self.mac_table = AgingTable(sim, mac_timeout_ns, "mac")
+        self.routes = []
+        self.drop_lossless_on_incomplete_arp = drop_lossless_on_incomplete_arp
+        # Counters.
+        self.floods = 0
+        self.arp_miss_drops = 0
+        self.incomplete_arp_drops = 0
+        self.no_route_drops = 0
+
+    # -- table maintenance ---------------------------------------------------
+
+    def add_route(self, prefix, prefix_len, ports):
+        """Install an L3 route (ports are ECMP next hops)."""
+        self.routes.append(Route(prefix, prefix_len, ports))
+        # Longest prefix first so lookup can take the first match.
+        self.routes.sort(key=lambda r: -r.prefix_len)
+
+    def learn_mac(self, mac, port_idx):
+        """Hardware MAC learning from a received frame's source address."""
+        self.mac_table.learn(mac, port_idx)
+
+    def learn_arp(self, ip, mac):
+        """Switch-CPU ARP learning from an ARP packet."""
+        self.arp_table.learn(ip, mac)
+
+    def is_local(self, addr):
+        """True when ``addr`` is in the directly attached subnet."""
+        if self.local_subnet is None:
+            return False
+        prefix, prefix_len = self.local_subnet
+        return (addr & _mask(prefix_len)) == (prefix & _mask(prefix_len))
+
+    # -- lookup --------------------------------------------------------------
+
+    def decide(self, dst_ip, lossless, flood_port_count=None):
+        """Forwarding decision for a packet to ``dst_ip``.
+
+        ``lossless`` enables the incomplete-ARP drop policy.  Flood port
+        selection is left to the switch (it knows the ingress port);
+        this returns the *action* only.
+        """
+        if self.is_local(dst_ip):
+            mac = self.arp_table.lookup(dst_ip)
+            if mac is None:
+                self.arp_miss_drops += 1
+                return ForwardDecision(ForwardDecision.DROP, reason="arp-miss")
+            port = self.mac_table.lookup(mac)
+            if port is not None:
+                return ForwardDecision(ForwardDecision.FORWARD, [port], reason="l2-hit")
+            # Incomplete ARP entry: IP->MAC known, MAC->port unknown.
+            if lossless and self.drop_lossless_on_incomplete_arp:
+                self.incomplete_arp_drops += 1
+                return ForwardDecision(
+                    ForwardDecision.DROP, reason="incomplete-arp-lossless"
+                )
+            self.floods += 1
+            return ForwardDecision(ForwardDecision.FLOOD, reason="incomplete-arp")
+        for route in self.routes:
+            if route.matches(dst_ip):
+                return ForwardDecision(
+                    ForwardDecision.FORWARD, route.ports, reason="l3-route"
+                )
+        self.no_route_drops += 1
+        return ForwardDecision(ForwardDecision.DROP, reason="no-route")
+
+    def resolve_local_mac(self, dst_ip):
+        """The ARP-resolved MAC for a local destination (None on miss)."""
+        return self.arp_table.lookup(dst_ip)

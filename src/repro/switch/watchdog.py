@@ -1,0 +1,78 @@
+"""The switch-side NIC-PFC-storm watchdog (section 4.3).
+
+The paper's ToR switches "monitor the server facing ports.  Once a server
+facing egress port is queuing packets which cannot be drained, and at the
+same time, the port is receiving continuous pause frames from the NIC,
+the switch will disable the lossless mode for the port and discard the
+lossless packets to and from the NIC."  Once pause frames stay absent for
+a period (default 200 ms), lossless mode is re-enabled -- unlike the
+NIC-side watchdog, the switch watchdog *does* re-arm.
+"""
+
+from repro.sim.units import MS
+from repro.sim.timer import Timer
+
+
+class SwitchWatchdogConfig:
+    """Tunables for the switch-side storm watchdog."""
+
+    def __init__(self, poll_interval_ns=10 * MS, reenable_after_ns=200 * MS, enabled=True):
+        self.poll_interval_ns = poll_interval_ns
+        self.reenable_after_ns = reenable_after_ns
+        self.enabled = enabled
+
+
+class PortStormWatchdog:
+    """Watches one server-facing port of a switch."""
+
+    def __init__(self, sim, switch, port, config):
+        self.sim = sim
+        self.switch = switch
+        self.port = port
+        self.config = config
+        self.lossless_disabled = False
+        self.trips = 0
+        self.reenables = 0
+        self._last_tx_packets = 0
+        self._last_pause_rx = 0
+        self._last_pause_seen_at = 0
+        self._poll = Timer(sim, self._check, name="%s.wdog" % port.name)
+        if config.enabled:
+            self._poll.start(config.poll_interval_ns)
+
+    def _check(self):
+        stats = self.port.stats
+        pause_delta = stats.pause_rx - self._last_pause_rx
+        if pause_delta > 0:
+            self._last_pause_seen_at = self.sim.now
+        if not self.lossless_disabled:
+            stuck = (
+                self.port.total_queued_packets > 0
+                and stats.total_tx_packets == self._last_tx_packets
+            )
+            if stuck and pause_delta > 0:
+                self._trip()
+        else:
+            quiet_for = self.sim.now - self._last_pause_seen_at
+            if quiet_for >= self.config.reenable_after_ns:
+                self._reenable()
+        self._last_tx_packets = stats.total_tx_packets
+        self._last_pause_rx = stats.pause_rx
+        self._poll.start(self.config.poll_interval_ns)
+
+    def _trip(self):
+        """Disable lossless mode: ignore the NIC's pauses and discard
+        lossless packets to/from it, confining the storm to one port."""
+        self.lossless_disabled = True
+        self.trips += 1
+        self.switch.on_watchdog_trip(self.port)
+
+    def _reenable(self):
+        """Pause frames gone (e.g. the server was repaired/rebooted):
+        restore lossless service on the port."""
+        self.lossless_disabled = False
+        self.reenables += 1
+        self.switch.on_watchdog_reenable(self.port)
+
+    def stop(self):
+        self._poll.cancel()

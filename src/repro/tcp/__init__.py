@@ -1,0 +1,32 @@
+"""The TCP baseline.
+
+Figure 6 compares RDMA against the production TCP stack; section 1
+quantifies TCP's kernel CPU cost.  This subpackage provides:
+
+* :mod:`~repro.tcp.kernel` -- the OS kernel model: per-operation latency
+  samples (with a heavy tail: "the kernel software introduces latency
+  that can be as high as tens of milliseconds") and a per-byte/per-packet
+  CPU cost model calibrated to the paper's 40 Gb/s measurements.
+* :mod:`~repro.tcp.connection` -- a Reno-style reliable byte stream:
+  slow start, congestion avoidance, fast retransmit on triple duplicate
+  ACKs, RTO with exponential backoff.  Loss recovery cost -- not raw
+  bandwidth -- is what drives TCP's latency tail under incast.
+* :mod:`~repro.tcp.stack` -- per-host connection management and packet
+  dispatch.
+
+TCP rides a *lossy* traffic class ("We use a different traffic class
+(which is not lossless) ... for TCP", section 2).
+"""
+
+from repro.tcp.connection import TcpConfig, TcpConnection
+from repro.tcp.kernel import CpuModel, KernelModel
+from repro.tcp.stack import TcpStack, connect_tcp_pair
+
+__all__ = [
+    "TcpConfig",
+    "TcpConnection",
+    "KernelModel",
+    "CpuModel",
+    "TcpStack",
+    "connect_tcp_pair",
+]

@@ -1,0 +1,101 @@
+"""OS kernel models: latency and CPU cost.
+
+Latency: every send and delivery crosses the kernel (syscall, socket
+buffers, softirq, scheduler).  The common case is tens of microseconds,
+but the distribution is heavy-tailed -- the paper cites Pingmesh [21]
+for kernel latency "as high as tens of milliseconds".  We model a
+lognormal body plus a small probability of a scheduler-class spike.
+
+CPU: section 1 measures, on a 32-core 2.9 GHz Xeon E5-2690 at 40 Gb/s
+over 8 connections, 6% aggregate CPU to send and 12% to receive.  Those
+two points calibrate a per-byte + per-packet cycle model; RDMA's CPU
+cost is ~0 by construction (the NIC does the work).
+"""
+
+from repro.sim.units import MS, US
+
+
+class KernelModel:
+    """Samples kernel traversal latency for one host."""
+
+    def __init__(
+        self,
+        rng,
+        median_ns=15 * US,
+        sigma=0.55,
+        spike_probability=0.0005,
+        spike_min_ns=1 * MS,
+        spike_max_ns=12 * MS,
+    ):
+        import math
+
+        self._rng = rng
+        self._mu = math.log(median_ns)
+        self._sigma = sigma
+        self.spike_probability = spike_probability
+        self.spike_min_ns = spike_min_ns
+        self.spike_max_ns = spike_max_ns
+
+    def sample_ns(self):
+        """One kernel traversal (send-side or receive-side)."""
+        latency = self._rng.lognormvariate(self._mu, self._sigma)
+        if self._rng.random() < self.spike_probability:
+            latency += self._rng.uniform(self.spike_min_ns, self.spike_max_ns)
+        return int(latency)
+
+
+class CpuModel:
+    """Per-direction kernel CPU cost of TCP packet processing.
+
+    Defaults are solved from the paper's two measurements (32 cores at
+    2.9 GHz, 40 Gb/s, 8 connections, standard 1500 B MTU):
+
+    * send 6%:  1.92 cores x 2.9e9 Hz / 5 GB/s  ~= 1.11 cycles/byte
+    * recv 12%: 3.84 cores x 2.9e9 Hz / 5 GB/s  ~= 2.23 cycles/byte
+
+    split here 80/20 between per-byte work (copies, checksums despite
+    offload) and per-packet work (interrupts, protocol processing).
+    """
+
+    def __init__(
+        self,
+        cores=32,
+        core_hz=2_900_000_000,
+        send_cycles_per_byte=0.891,
+        send_cycles_per_packet=323.0,
+        recv_cycles_per_byte=1.782,
+        recv_cycles_per_packet=646.0,
+        mss_bytes=1460,
+    ):
+        self.cores = cores
+        self.core_hz = core_hz
+        self.send_cycles_per_byte = send_cycles_per_byte
+        self.send_cycles_per_packet = send_cycles_per_packet
+        self.recv_cycles_per_byte = recv_cycles_per_byte
+        self.recv_cycles_per_packet = recv_cycles_per_packet
+        self.mss_bytes = mss_bytes
+
+    def _cycles_per_second(self, rate_bps, per_byte, per_packet):
+        bytes_per_second = rate_bps / 8
+        packets_per_second = bytes_per_second / self.mss_bytes
+        return bytes_per_second * per_byte + packets_per_second * per_packet
+
+    def send_cpu_fraction(self, rate_bps):
+        """Aggregate CPU fraction (0..1) to transmit at ``rate_bps``."""
+        used = self._cycles_per_second(
+            rate_bps, self.send_cycles_per_byte, self.send_cycles_per_packet
+        )
+        return used / (self.cores * self.core_hz)
+
+    def recv_cpu_fraction(self, rate_bps):
+        """Aggregate CPU fraction (0..1) to receive at ``rate_bps``."""
+        used = self._cycles_per_second(
+            rate_bps, self.recv_cycles_per_byte, self.recv_cycles_per_packet
+        )
+        return used / (self.cores * self.core_hz)
+
+    @staticmethod
+    def rdma_cpu_fraction(rate_bps):
+        """RDMA's CPU cost: the NIC does segmentation, reassembly and
+        reliability; the paper measures "close to 0%"."""
+        return 0.0

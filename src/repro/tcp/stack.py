@@ -1,0 +1,90 @@
+"""Per-host TCP stack: connection table, dispatch, kernel models."""
+
+from repro.tcp.connection import TcpConnection
+from repro.tcp.kernel import KernelModel
+
+
+class TcpStack:
+    """The TCP instance on one host."""
+
+    def __init__(self, host, kernel=None, rng=None):
+        self.host = host
+        self.sim = host.sim
+        if kernel is None:
+            if rng is None:
+                raise ValueError("TcpStack needs a KernelModel or an rng to build one")
+            kernel = KernelModel(rng)
+        self.kernel = kernel
+        self._connections = {}  # (local_port, remote_ip, remote_port) -> conn
+        self._next_port = 30000 + (host.ip & 0xFF) * 64
+        self.unmatched_segments = 0
+        host.install_handler("tcp", self._on_packet)
+
+    def allocate_port(self):
+        port = self._next_port
+        self._next_port += 1
+        return port
+
+    def create_connection(self, remote_ip, remote_mac, remote_port, local_port=None, config=None):
+        local_port = self.allocate_port() if local_port is None else local_port
+        connection = TcpConnection(
+            self,
+            local_port=local_port,
+            remote_ip=remote_ip,
+            remote_mac=remote_mac,
+            remote_port=remote_port,
+            config=config,
+        )
+        self._connections[(local_port, remote_ip, remote_port)] = connection
+        self.host.nic.register_source(connection)
+        return connection
+
+    def _on_packet(self, packet):
+        key = (packet.tcp.dst_port, packet.ip.src, packet.tcp.src_port)
+        connection = self._connections.get(key)
+        if connection is None:
+            self.unmatched_segments += 1
+            return
+        connection.on_segment(packet)
+
+    @property
+    def connections(self):
+        return list(self._connections.values())
+
+
+def _stack_of(host, rng=None):
+    stack = getattr(host, "tcp", None)
+    if stack is None:
+        if rng is None:
+            raise ValueError("host %s has no TCP stack; pass an rng" % host.name)
+        stack = TcpStack(host, rng=rng.child("kernel/%s" % host.name))
+        host.tcp = stack
+    return stack
+
+
+def connect_tcp_pair(host_a, host_b, rng, config_a=None, config_b=None):
+    """Create and cross-wire one TCP connection between two hosts.
+
+    Returns ``(conn_a, conn_b)``; either side can ``send_message``.
+    """
+    stack_a = _stack_of(host_a, rng)
+    stack_b = _stack_of(host_b, rng)
+    port_a = stack_a.allocate_port()
+    port_b = stack_b.allocate_port()
+    conn_a = stack_a.create_connection(
+        remote_ip=host_b.ip,
+        remote_mac=host_b.mac,
+        remote_port=port_b,
+        local_port=port_a,
+        config=config_a,
+    )
+    conn_b = stack_b.create_connection(
+        remote_ip=host_a.ip,
+        remote_mac=host_a.mac,
+        remote_port=port_a,
+        local_port=port_b,
+        config=config_b,
+    )
+    conn_a.peer = conn_b
+    conn_b.peer = conn_a
+    return conn_a, conn_b

@@ -1,0 +1,14 @@
+"""TIMELY: RTT-gradient congestion control (Mittal et al. [27]).
+
+The paper deploys DCQCN but notes that "the lessons we have learned in
+this paper apply to the networks using TIMELY as well" (section 2) --
+both are rate-based controllers whose job, in a PFC fabric, is to keep
+queues short enough that pauses rarely fire.  This extension implements
+TIMELY so that claim can be exercised: the ablation bench runs the same
+congested fabric under no CC / DCQCN / TIMELY and compares pause
+generation and latency.
+"""
+
+from repro.timely.engine import TimelyConfig, TimelyRp, enable_timely
+
+__all__ = ["TimelyConfig", "TimelyRp", "enable_timely"]

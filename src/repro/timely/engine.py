@@ -1,0 +1,126 @@
+"""The TIMELY rate controller.
+
+Per the TIMELY paper's control loop, evaluated once per RTT sample:
+
+* compute the smoothed RTT difference ("gradient"), normalized by a
+  minimum-RTT scale;
+* ``rtt < t_low``  -> additive increase (no queueing to speak of);
+* ``rtt > t_high`` -> multiplicative decrease proportional to how far
+  past the ceiling the RTT is (queue must shrink *now*);
+* otherwise gradient-based: negative gradient -> additive increase (with
+  hyper-step after N consecutive decreases in RTT), positive gradient ->
+  multiplicative decrease scaled by the normalized gradient.
+
+The controller plugs into a QP exactly like DCQCN's reaction point: it
+exposes ``rate_bps`` and the QP paces against it.
+"""
+
+from repro.sim.units import US
+
+
+class TimelyConfig:
+    """TIMELY parameters (defaults scaled to this simulator's RTTs)."""
+
+    def __init__(
+        self,
+        t_low_ns=20 * US,
+        t_high_ns=100 * US,
+        min_rtt_ns=10 * US,
+        additive_step_bps=50 * 10**6,
+        beta=0.8,
+        ewma_alpha=0.3,
+        hai_threshold=5,
+        min_rate_bps=40 * 10**6,
+    ):
+        if t_low_ns >= t_high_ns:
+            raise ValueError("need t_low < t_high")
+        self.t_low_ns = t_low_ns
+        self.t_high_ns = t_high_ns
+        self.min_rtt_ns = min_rtt_ns
+        self.additive_step_bps = additive_step_bps
+        self.beta = beta
+        self.ewma_alpha = ewma_alpha
+        self.hai_threshold = hai_threshold
+        self.min_rate_bps = min_rate_bps
+
+
+class TimelyRp:
+    """Rate state for one sending QP, driven by RTT samples."""
+
+    def __init__(self, line_rate_bps, config=None):
+        self.config = config or TimelyConfig()
+        self.line_rate_bps = line_rate_bps
+        self.rate = float(line_rate_bps)
+        self._prev_rtt = None
+        self._rtt_diff = 0.0
+        self._consecutive_decreases = 0
+        # Counters.
+        self.samples = 0
+        self.increases = 0
+        self.decreases = 0
+
+    @property
+    def rate_bps(self):
+        return int(self.rate)
+
+    def on_rtt_sample(self, rtt_ns):
+        """The control law; call once per new RTT measurement."""
+        config = self.config
+        self.samples += 1
+        if self._prev_rtt is None:
+            self._prev_rtt = rtt_ns
+            return
+        new_diff = rtt_ns - self._prev_rtt
+        self._prev_rtt = rtt_ns
+        self._rtt_diff = (
+            (1 - config.ewma_alpha) * self._rtt_diff + config.ewma_alpha * new_diff
+        )
+        gradient = self._rtt_diff / config.min_rtt_ns
+        if rtt_ns < config.t_low_ns:
+            self._increase(1)
+            return
+        if rtt_ns > config.t_high_ns:
+            factor = 1 - config.beta * (1 - config.t_high_ns / rtt_ns)
+            self._decrease(factor)
+            return
+        if gradient <= 0:
+            self._consecutive_decreases += 1
+            steps = 5 if self._consecutive_decreases >= config.hai_threshold else 1
+            self._increase(steps)
+        else:
+            self._consecutive_decreases = 0
+            self._decrease(1 - config.beta * min(1.0, gradient))
+
+    def on_cnp(self):
+        """TIMELY is RTT-driven: ECN congestion notifications are
+        ignored (the QP calls this hook on any attached controller)."""
+
+    def on_bytes_sent(self, nbytes):
+        """No byte-counter stage in TIMELY; QP hook is a no-op."""
+
+    def _increase(self, steps):
+        self.rate = min(
+            self.line_rate_bps, self.rate + steps * self.config.additive_step_bps
+        )
+        self.increases += 1
+
+    def _decrease(self, factor):
+        self.rate = max(self.config.min_rate_bps, self.rate * factor)
+        self.decreases += 1
+        self._consecutive_decreases = 0
+
+    def __repr__(self):
+        return "TimelyRp(rate=%.0f, samples=%d)" % (self.rate, self.samples)
+
+
+def enable_timely(qp, config=None):
+    """Attach TIMELY to a connected QP (mutually exclusive with DCQCN)."""
+    link = qp.host.nic.port.link
+    if link is None:
+        raise RuntimeError("enable_timely: host %s is not connected yet" % qp.host.name)
+    if qp.rp is not None:
+        raise RuntimeError("QP already has a DCQCN reaction point attached")
+    rp = TimelyRp(line_rate_bps=link.rate_bps, config=config)
+    qp.rp = rp  # the QP paces against rp.rate_bps
+    qp.on_rtt_sample = rp.on_rtt_sample
+    return rp

@@ -1,0 +1,26 @@
+"""Traffic generators for the experiments.
+
+* :mod:`~repro.workloads.channels` -- a uniform ``send(nbytes, cb)``
+  facade over RDMA QPs and TCP connections, so one workload drives both
+  transports (figure 6 compares them on identical traffic).
+* :mod:`~repro.workloads.generators` -- the paper's traffic patterns:
+  saturating senders ("as fast as possible", sections 4.1 and 5.4),
+  periodic many-to-one incast (the latency-sensitive service of figure 6
+  and the chatty servers of the section 6.2 incident), and Poisson
+  request/response clients.
+"""
+
+from repro.workloads.channels import RdmaChannel, TcpChannel
+from repro.workloads.generators import (
+    ClosedLoopSender,
+    PeriodicIncast,
+    PoissonRequests,
+)
+
+__all__ = [
+    "RdmaChannel",
+    "TcpChannel",
+    "ClosedLoopSender",
+    "PeriodicIncast",
+    "PoissonRequests",
+]

@@ -1,0 +1,129 @@
+"""Tests for percentile helpers and the flow-level ECMP model."""
+
+import pytest
+
+from repro.analysis import Cdf, percentile, summarize_latencies_us
+from repro.flows import ClosFlowModel, max_min_allocation
+from repro.flows.maxmin import link_utilization
+from repro.sim.units import GBPS
+
+
+class TestPercentiles:
+    def test_median_of_odd_list(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == 2.5
+
+    def test_extremes(self):
+        data = list(range(100))
+        assert percentile(data, 0) == 0
+        assert percentile(data, 100) == 99
+
+    def test_p99_of_uniform(self):
+        data = list(range(1, 1001))
+        assert percentile(data, 99) == pytest.approx(990, rel=0.01)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_cdf_quantile_and_fraction(self):
+        cdf = Cdf([1, 2, 3, 4, 5, 6, 7, 8, 9, 10])
+        assert cdf.median == pytest.approx(5.5)
+        assert cdf.fraction_below(5) == 0.5
+        assert cdf.min == 1
+        assert cdf.max == 10
+        assert len(cdf) == 10
+
+    def test_cdf_points_monotone(self):
+        cdf = Cdf(list(range(1000)))
+        points = cdf.points(n=50)
+        values = [v for v, _ in points]
+        fractions = [f for _, f in points]
+        assert values == sorted(values)
+        assert fractions == sorted(fractions)
+
+    def test_summary_units(self):
+        summary = summarize_latencies_us([1000, 2000, 3000], percentiles=(50,))
+        assert summary["p50"] == 2.0
+
+
+class TestMaxMin:
+    def test_single_link_fair_share(self):
+        rates = max_min_allocation({"l": 30}, [["l"], ["l"], ["l"]])
+        assert rates == [10, 10, 10]
+
+    def test_bottleneck_isolation(self):
+        # Flow A on a tight link, flow B gets the remainder elsewhere.
+        links = {"tight": 10, "wide": 100}
+        rates = max_min_allocation(links, [["tight", "wide"], ["wide"]])
+        assert rates[0] == pytest.approx(10)
+        assert rates[1] == pytest.approx(90)
+
+    def test_classic_three_flow_example(self):
+        # Two unit links in a line; one long flow + two short ones.
+        links = {"a": 1.0, "b": 1.0}
+        paths = [["a", "b"], ["a"], ["b"]]
+        rates = max_min_allocation(links, paths)
+        assert rates[0] == pytest.approx(0.5)
+        assert rates[1] == pytest.approx(0.5)
+        assert rates[2] == pytest.approx(0.5)
+
+    def test_empty_path_gets_zero(self):
+        rates = max_min_allocation({"l": 10}, [[], ["l"]])
+        assert rates == [0.0, 10]
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(KeyError):
+            max_min_allocation({"l": 10}, [["nope"]])
+
+    def test_utilization_accounting(self):
+        links = {"a": 10.0}
+        paths = [["a"], ["a"]]
+        rates = max_min_allocation(links, paths)
+        loads = link_utilization(links, paths, rates)
+        assert loads["a"] == pytest.approx(1.0)
+
+
+class TestClosFlowModel:
+    def test_paper_shape(self):
+        result = ClosFlowModel(seed=1).run()
+        # Figure 7: ~3.0 Tb/s, ~60% utilization, ~8 Gb/s per server.
+        assert 0.55 <= result.utilization <= 0.70
+        assert 2.8e12 <= result.aggregate_bps <= 3.6e12
+        assert 7.0 <= result.per_server_gbps() <= 9.5
+
+    def test_qp_count_matches_paper(self):
+        result = ClosFlowModel(seed=1).run()
+        # 24 ToR pairs x 8 servers x 8 QPs x 2 directions = 3072 (~3074).
+        assert len(result.rates_bps) == 3072
+
+    def test_maxmin_bound_exceeds_pfc_uniform(self):
+        model = ClosFlowModel(seed=2)
+        assert model.run("maxmin").utilization >= model.run("pfc-uniform").utilization
+
+    def test_unknown_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            ClosFlowModel().run("tcp")
+
+    def test_utilization_stable_across_seeds(self):
+        utils = [ClosFlowModel(seed=s).run().utilization for s in range(1, 6)]
+        assert max(utils) - min(utils) < 0.1
+
+    def test_leaf_spine_capacity_is_5_12_tbps(self):
+        result = ClosFlowModel(seed=1).run()
+        assert result.leaf_spine_capacity_bps == 128 * 40 * GBPS
+
+    def test_hot_link_saturated(self):
+        result = ClosFlowModel(seed=1).run()
+        loads = result.leaf_spine_link_loads()
+        assert max(loads.values()) == pytest.approx(1.0, rel=0.05)
+
+    def test_spine_count_must_divide(self):
+        with pytest.raises(ValueError):
+            ClosFlowModel(n_spines=63)

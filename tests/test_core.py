@@ -1,0 +1,147 @@
+"""Tests for the core contributions: deadlock analysis, PFC designs,
+provisioning, safety profiles."""
+
+import networkx as nx
+import pytest
+
+from repro.core import (
+    DscpPfcDesign,
+    ProvisioningService,
+    PxeBootResult,
+    VlanPfcDesign,
+    detect_deadlock,
+    naive_profile,
+    paper_safe_profile,
+    static_channel_dependencies,
+)
+from repro.core.deadlock import is_statically_deadlock_free
+from repro.packets.packet import PriorityMode
+from repro.rdma.recovery import GoBack0, GoBackN
+from repro.sim.units import KB, MB
+from repro.topo import deadlock_quad, single_switch, two_tier
+
+
+class TestStaticAnalysis:
+    def test_up_down_clos_is_deadlock_free(self):
+        topo = two_tier(n_tors=2, hosts_per_tor=2, n_leaves=2).boot()
+        assert is_statically_deadlock_free(topo.fabric.switches)
+
+    def test_quad_with_routes_only_is_deadlock_free(self):
+        topo = deadlock_quad().boot()
+        switches = [topo.t0, topo.t1, topo.la, topo.lb]
+        assert is_statically_deadlock_free(switches)
+
+    def test_lossless_flooding_closes_the_cycle(self):
+        # The paper's root cause, in graph form: admitting flooding to
+        # lossless classes adds the dependencies that create a cycle.
+        topo = deadlock_quad().boot()
+        switches = [topo.t0, topo.t1, topo.la, topo.lb]
+        assert not is_statically_deadlock_free(switches, assume_lossless_flooding=True)
+
+    def test_dependency_graph_has_channel_nodes(self):
+        topo = two_tier(n_tors=2, hosts_per_tor=1, n_leaves=1).boot()
+        graph = static_channel_dependencies(topo.fabric.switches)
+        assert all(len(node) == 3 for node in graph.nodes)
+
+
+class TestRuntimeDetector:
+    def test_clean_fabric_reports_clear(self):
+        topo = single_switch(n_hosts=2).boot()
+        report = detect_deadlock([topo.tor])
+        assert not report.deadlocked
+        assert report.involved_switches() == []
+
+    def test_report_repr(self):
+        topo = single_switch(n_hosts=2).boot()
+        assert "clear" in repr(detect_deadlock([topo.tor]))
+
+
+class TestDesigns:
+    def test_vlan_design_validation_fails_in_paper_environment(self):
+        problems = VlanPfcDesign().validate(layer3_fabric=True, pxe_boot_needed=True)
+        assert len(problems) == 2
+
+    def test_dscp_design_validates_clean(self):
+        assert DscpPfcDesign().validate() == []
+
+    def test_dscp_design_honest_about_layer2(self):
+        problems = DscpPfcDesign().validate(layer2_only_protocols=True)
+        assert len(problems) == 1  # FCoE-style designs can't use it
+
+    def test_port_modes(self):
+        assert VlanPfcDesign().required_server_port_mode == "trunk"
+        assert DscpPfcDesign().required_server_port_mode == "access"
+
+    def test_traffic_classes(self):
+        vlan_tc = VlanPfcDesign(vlan_id=7).traffic_class(priority=3)
+        assert vlan_tc.vlan_id == 7
+        assert vlan_tc.vlan_tag().pcp == 3
+        dscp_tc = DscpPfcDesign().traffic_class(priority=3)
+        assert dscp_tc.vlan_id is None
+        assert dscp_tc.dscp == 3
+
+    def test_dscp_reverse_mapping(self):
+        design = DscpPfcDesign(dscp_to_priority={46: 3})
+        assert design.traffic_class(priority=3).dscp == 46
+        with pytest.raises(ValueError):
+            design.traffic_class(priority=5)
+
+    def test_pfc_config_modes(self):
+        assert VlanPfcDesign().pfc_config().priority_mode == PriorityMode.VLAN
+        assert DscpPfcDesign().pfc_config().priority_mode == PriorityMode.DSCP
+
+    def test_apply_to_switch(self):
+        topo = single_switch(n_hosts=2).boot()
+        VlanPfcDesign().apply_to_switch(topo.tor)
+        assert topo.tor.pfc_config.priority_mode == PriorityMode.VLAN
+        assert topo.tor.ports[0].vlan_port_mode == "trunk"
+
+
+class TestProvisioning:
+    def test_pxe_succeeds_on_access_ports(self):
+        topo = single_switch(n_hosts=2).boot()
+        topo.tor.set_server_port_modes("access")
+        service = ProvisioningService(topo.sim, topo.hosts[1])
+        assert service.attempt_boot(topo.hosts[0]) == PxeBootResult.SUCCESS
+
+    def test_pxe_breaks_on_trunk_ports(self):
+        topo = single_switch(n_hosts=2).boot()
+        topo.tor.set_server_port_modes("trunk")
+        service = ProvisioningService(topo.sim, topo.hosts[1])
+        assert service.attempt_boot(topo.hosts[0]) == PxeBootResult.BROKEN_TRUNK_PORT
+        assert topo.tor.counters.drops["vlan-port-mode"] > 0
+
+    def test_pxe_succeeds_with_no_enforcement(self):
+        topo = single_switch(n_hosts=2).boot()
+        service = ProvisioningService(topo.sim, topo.hosts[1])
+        assert service.attempt_boot(topo.hosts[0]) == PxeBootResult.SUCCESS
+
+
+class TestSafetyProfiles:
+    def test_paper_profile_contents(self):
+        profile = paper_safe_profile()
+        assert isinstance(profile.recovery(), GoBackN)
+        assert profile.drop_lossless_on_incomplete_arp
+        assert profile.nic_watchdog_enabled and profile.switch_watchdog_enabled
+        assert profile.buffer_alpha == 1.0 / 16
+        assert profile.mtt_page_bytes == 2 * MB
+
+    def test_naive_profile_contents(self):
+        profile = naive_profile()
+        assert isinstance(profile.recovery(), GoBack0)
+        assert not profile.drop_lossless_on_incomplete_arp
+        assert profile.buffer_alpha == 1.0 / 64
+        assert profile.mtt_page_bytes == 4 * KB
+
+    def test_apply_to_topology(self):
+        topo = single_switch(n_hosts=2).boot()
+        paper_safe_profile().apply_to_topology(topo)
+        assert topo.tor.tables.drop_lossless_on_incomplete_arp
+        assert topo.tor._watchdogs  # armed on server ports
+        assert all(h.nic.config.watchdog_config.enabled for h in topo.hosts)
+
+    def test_profile_config_factories(self):
+        profile = paper_safe_profile()
+        assert profile.buffer_config().alpha == 1.0 / 16
+        assert profile.mtt_config().page_bytes == 2 * MB
+        assert profile.forwarding_kwargs()["drop_lossless_on_incomplete_arp"]

@@ -1,0 +1,143 @@
+"""Tests for the DCQCN reaction point and the CP/NP/RP loop."""
+
+import pytest
+
+from repro.dcqcn import DcqcnConfig, ReactionPoint, enable_dcqcn
+from repro.rdma import QpConfig, connect_qp_pair, post_send
+from repro.sim import SeededRng, Simulator
+from repro.sim.units import KB, MB, MS, US, gbps
+from repro.switch.ecn import EcnConfig
+from repro.topo import single_switch
+
+
+class TestReactionPoint:
+    def make_rp(self, **kwargs):
+        sim = Simulator()
+        return sim, ReactionPoint(sim, line_rate_bps=gbps(40), config=DcqcnConfig(**kwargs))
+
+    def test_starts_at_line_rate(self):
+        sim, rp = self.make_rp()
+        assert rp.rate_bps == gbps(40)
+        assert rp.at_line_rate
+
+    def test_cnp_cuts_rate_multiplicatively(self):
+        sim, rp = self.make_rp()
+        rp.on_cnp()
+        # alpha starts at 1: first cut is RC * (1 - 1/2).
+        assert rp.rate_bps == pytest.approx(gbps(20), rel=0.01)
+        assert rp.rt == pytest.approx(gbps(40), rel=0.01)
+
+    def test_alpha_rises_on_cnp_falls_when_quiet(self):
+        sim, rp = self.make_rp()
+        rp.on_cnp()
+        alpha_after_cnp = rp.alpha
+        sim.run(until=sim.now + 2 * MS)  # many quiet alpha-timer periods
+        assert rp.alpha < alpha_after_cnp
+
+    def test_repeated_cnps_respect_min_rate(self):
+        sim, rp = self.make_rp(min_rate_bps=40 * 10**6)
+        for _ in range(200):
+            rp.on_cnp()
+        assert rp.rate_bps >= 40 * 10**6
+
+    def test_fast_recovery_converges_to_target(self):
+        sim, rp = self.make_rp()
+        rp.on_cnp()  # rc=20G, rt=40G
+        sim.run(until=sim.now + 2 * MS)  # several 300us timer events
+        # Fast recovery halves the gap each event: back near 40G.
+        assert rp.rate_bps > gbps(38)
+
+    def test_byte_counter_drives_increase(self):
+        sim, rp = self.make_rp(byte_counter_bytes=1 * MB)
+        rp.on_cnp()
+        before = rp.rate_bps
+        for _ in range(20):
+            rp.on_bytes_sent(1 * MB)
+        assert rp.rate_bps > before
+
+    def test_hyper_increase_after_both_counters_pass(self):
+        sim, rp = self.make_rp(byte_counter_bytes=64 * KB, fast_recovery_steps=2)
+        rp.on_cnp()
+        rp.on_cnp()
+        floor = rp.rate_bps  # ~15 G after two cuts
+        target = rp.rt  # 20 G
+        # Push both event streams past F: hyper increase raises RT by
+        # R_HAI per event, pulling RC past the old target.
+        sim.run(until=sim.now + 3 * MS)
+        for _ in range(10):
+            rp.on_bytes_sent(64 * KB)
+        assert rp.rate_bps > target > floor
+        assert rp.rt > target + 10 * rp.config.rate_ai_bps  # hyper, not additive
+
+    def test_second_cnp_cuts_deeper_via_higher_alpha(self):
+        sim, rp = self.make_rp()
+        rp.on_cnp()
+        first_cut_ratio = rp.rc / rp.rt
+        rate = rp.rc
+        rp.on_cnp()
+        second_cut_ratio = rp.rc / rate
+        # alpha decayed between? no time passed; alpha rose after first
+        # CNP, but the cut factor (1 - alpha/2) uses the pre-update
+        # alpha... both cuts use alpha ~1 vs ~1: ratios comparable; what
+        # must hold is monotone decrease.
+        assert rp.rc < rate
+        assert 0 < second_cut_ratio <= first_cut_ratio + 0.01
+
+    def test_enable_dcqcn_requires_connected_host(self):
+        topo = single_switch(n_hosts=2)
+        rng = SeededRng(1, "d")
+        # not booted is fine -- but the port must be linked (it is, via
+        # the builder); verify RP picks up the 40G line rate.
+        qp, _ = connect_qp_pair(topo.hosts[0], topo.hosts[1], rng)
+        rp = enable_dcqcn(qp)
+        assert rp.line_rate_bps == gbps(40)
+        assert qp.rp is rp
+
+
+class TestClosedLoop:
+    def test_incast_with_dcqcn_reduces_pause_generation(self):
+        """The deployment rationale (section 2): DCQCN keeps queues small
+        so fewer PFC pauses fire."""
+
+        def run(with_dcqcn):
+            from repro.switch.buffer import BufferConfig
+
+            topo = single_switch(
+                n_hosts=5,
+                seed=7,
+                ecn_config=EcnConfig(kmin_bytes=20 * KB, kmax_bytes=80 * KB, pmax=0.2),
+                buffer_config=BufferConfig(alpha=None, xoff_static_bytes=96 * KB),
+            ).boot()
+            rng = SeededRng(7, "closed")
+            victim = topo.hosts[0]
+            for src in topo.hosts[1:]:
+                qp, _ = connect_qp_pair(src, victim, rng)
+                if with_dcqcn:
+                    enable_dcqcn(qp)
+                from repro.workloads import ClosedLoopSender, RdmaChannel
+
+                ClosedLoopSender(RdmaChannel(qp), 256 * KB).start()
+            topo.sim.run(until=topo.sim.now + 10 * MS)
+            return topo.tor.pause_frames_sent(), topo.tor.counters.ecn_marked
+
+        pauses_without, _ = run(False)
+        pauses_with, marked = run(True)
+        assert marked > 0  # CP marked packets
+        assert pauses_with < pauses_without
+
+    def test_cnp_reaches_sender_and_cuts_rate(self):
+        topo = single_switch(
+            n_hosts=3,
+            seed=3,
+            ecn_config=EcnConfig(kmin_bytes=5 * KB, kmax_bytes=20 * KB, pmax=1.0),
+        ).boot()
+        rng = SeededRng(3, "cnp")
+        victim = topo.hosts[0]
+        rps = []
+        for src in topo.hosts[1:]:
+            qp, _ = connect_qp_pair(src, victim, rng)
+            rps.append(enable_dcqcn(qp))
+            post_send(qp, 4 * MB)
+        topo.sim.run(until=topo.sim.now + 2 * MS)
+        assert any(rp.cnps_handled > 0 for rp in rps)
+        assert any(rp.rate_bps < gbps(40) for rp in rps)

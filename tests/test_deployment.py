@@ -1,0 +1,79 @@
+"""Tests for the staged rollout procedure (paper section 6.1)."""
+
+import pytest
+
+from repro.core.deployment import StagedRollout
+from repro.sim import SeededRng
+from repro.topo import three_tier_clos
+
+
+def make_rollout(seed=71):
+    topo = three_tier_clos(
+        n_podsets=2,
+        tors_per_podset=2,
+        hosts_per_tor=2,
+        leaves_per_podset=2,
+        n_spines=2,
+        seed=seed,
+    ).boot()
+    return StagedRollout(topo, SeededRng(seed, "rollout"))
+
+
+class TestStagedRollout:
+    def test_full_healthy_rollout(self):
+        rollout = make_rollout()
+        reports = rollout.run_to_completion()
+        assert [r.stage for r in reports] == ["tor-only", "podset", "spine"]
+        assert all(r.passed for r in reports)
+        assert rollout.stage == "spine"
+        # Full scope: every switch carries lossless traffic.
+        assert all(s.pfc_config.enabled for s in rollout.topo.fabric.switches)
+
+    def test_tor_only_scope(self):
+        rollout = make_rollout()
+        report = rollout.advance()
+        assert report.passed
+        assert rollout.stage == "tor-only"
+        tors = [t for p in rollout.topo.podsets for t in p["tors"]]
+        leaves = [l for p in rollout.topo.podsets for l in p["leaves"]]
+        assert all(t.pfc_config.enabled for t in tors)
+        assert not any(l.pfc_config.enabled for l in leaves)
+        assert not any(s.pfc_config.enabled for s in rollout.topo.spines)
+
+    def test_allowed_pairs_widen_with_stage(self):
+        rollout = make_rollout()
+        tor_pairs = rollout.allowed_pairs("tor-only")
+        podset_pairs = rollout.allowed_pairs("podset")
+        spine_pairs = rollout.allowed_pairs("spine")
+        assert len(tor_pairs) < len(podset_pairs) < len(spine_pairs)
+        # ToR-only pairs stay under one ToR (same /24).
+        assert all((a.ip >> 8) == (b.ip >> 8) for a, b in tor_pairs)
+        # Spine stage allows cross-podset pairs.
+        assert any((a.ip >> 16) != (b.ip >> 16) for a, b in spine_pairs)
+
+    def test_failed_gate_rolls_back(self):
+        rollout = make_rollout()
+        assert rollout.advance().passed  # tor-only
+        # Sabotage the next gate: kill a host the podset probes will hit
+        # (the first sampled pair's destination).
+        victim = rollout.allowed_pairs("podset")[0][1]
+        victim.die()
+        report = rollout.advance()
+        assert not report.passed
+        assert report.probe_errors > 0
+        # Scope rolled back: leaves are lossless-disabled again.
+        assert rollout.stage == "tor-only"
+        leaves = [l for p in rollout.topo.podsets for l in p["leaves"]]
+        assert not any(l.pfc_config.enabled for l in leaves)
+
+    def test_cannot_advance_past_full_scope(self):
+        rollout = make_rollout()
+        rollout.run_to_completion()
+        with pytest.raises(RuntimeError):
+            rollout.advance()
+
+    def test_reports_accumulate(self):
+        rollout = make_rollout()
+        rollout.run_to_completion()
+        assert len(rollout.reports) == 3
+        assert all(r.probes > 0 for r in rollout.reports)

@@ -1,0 +1,50 @@
+"""Smoke tests: the example scripts run to completion.
+
+Examples are a deliverable; these guard them against API drift.  Only
+the quick ones run here (the storm/fabric-ops demos take ~a minute and
+are exercised by their underlying experiment tests anyway).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name, timeout=240):
+    path = os.path.join(EXAMPLES_DIR, name)
+    return subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        check=False,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "packets dropped  : 0" in result.stdout
+
+    def test_livelock_demo(self):
+        result = run_example("livelock_demo.py")
+        assert result.returncode == 0, result.stderr
+        assert "go-back-0" in result.stdout
+        assert "0.00 Gb/s" in result.stdout  # the livelock row
+
+    def test_verbs_api_tour(self):
+        result = run_example("verbs_api_tour.py")
+        assert result.returncode == 0, result.stderr
+        assert "RNR NAKs on the wire" in result.stdout
+        assert "WorkCompletion" in result.stdout
+
+    def test_clos_scale_study(self):
+        result = run_example("clos_scale_study.py")
+        assert result.returncode == 0, result.stderr
+        assert "utilization" in result.stdout
+        assert "QPs/server" in result.stdout

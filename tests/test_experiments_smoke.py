@@ -1,0 +1,99 @@
+"""Smoke tests: every experiment runner produces its paper-shaped rows.
+
+Durations are cut to the minimum that still shows each phenomenon, so
+this file doubles as a fast end-to-end regression of the reproduction
+(the benchmarks run the full-length versions).
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_buffer_misconfig,
+    run_clos_throughput,
+    run_congestion_latency,
+    run_cpu_overhead,
+    run_deadlock,
+    run_dscp_vs_vlan,
+    run_headroom,
+    run_livelock,
+    run_slow_receiver,
+)
+from repro.sim.units import MS
+
+
+class TestLivelockSmoke:
+    def test_send_only_short_run(self):
+        result = run_livelock(duration_ns=4 * MS, operations=("send",))
+        rows = {r["recovery"]: r for r in result.rows()}
+        assert rows["go-back-0"]["goodput_gbps"] == 0.0
+        assert rows["go-back-n"]["goodput_gbps"] > 10
+
+    def test_format_table_renders(self):
+        result = run_livelock(duration_ns=2 * MS, operations=("send",))
+        table = result.format_table()
+        assert "go-back-0" in table
+        assert "goodput_gbps" in table
+
+
+class TestDeadlockSmoke:
+    def test_flooding_deadlocks_and_fix_prevents(self):
+        result = run_deadlock(duration_ns=6 * MS)
+        rows = {r["scenario"]: r for r in result.rows()}
+        assert rows["flooding"]["deadlocked"]
+        assert not rows["arp-drop-fix"]["deadlocked"]
+        assert rows["arp-drop-fix"]["incomplete_arp_drops"] > 0
+
+
+class TestClosSmoke:
+    def test_flow_level_only(self):
+        result = run_clos_throughput(seeds=(1,), packet_level_check=False)
+        row = result.rows()[0]
+        assert 0.5 < row["utilization"] < 0.75
+        assert row["maxmin_utilization"] >= row["utilization"]
+
+
+class TestSlowReceiverSmoke:
+    def test_page_size_contrast(self):
+        result = run_slow_receiver(duration_ns=4 * MS)
+        rows = {(r["page_size"], r["switch_buffer"]): r for r in result.rows()}
+        assert rows[("4KB", "static")]["nic_pauses_per_ms"] > 0
+        assert rows[("2MB", "static")]["nic_pauses_per_ms"] == 0
+
+
+class TestBufferMisconfigSmoke:
+    def test_alpha_contrast(self):
+        result = run_buffer_misconfig(duration_ns=10 * MS)
+        rows = {r["alpha"]: r for r in result.rows()}
+        assert rows["1/64"]["tor_pauses_sent"] > rows["1/16"]["tor_pauses_sent"]
+        assert len(result.config_drifts) == 1
+
+
+class TestDscpVsVlanSmoke:
+    def test_both_failure_modes(self):
+        result = run_dscp_vs_vlan()
+        rows = {r["design"]: r for r in result.rows()}
+        assert rows["vlan-pfc"]["pxe_boot"] == "broken-trunk-port"
+        assert rows["dscp-pfc"]["pxe_boot"] == "success"
+        assert rows["vlan-pfc"]["cross_subnet_rdma_drops"] > 0
+        assert rows["dscp-pfc"]["cross_subnet_rdma_drops"] == 0
+
+
+class TestAnalyticExperiments:
+    def test_cpu_overhead_rows(self):
+        result = run_cpu_overhead(rates_gbps=(40,))
+        row = result.rows()[0]
+        assert row["tcp_send_cpu_pct"] == pytest.approx(6.0, rel=0.05)
+        assert row["rdma_cpu_pct"] == 0.0
+
+    def test_headroom_two_classes(self):
+        result = run_headroom(rates_gbps=(40,))
+        fabric = next(r for r in result.rows() if r["switch"] == "fabric-wide")
+        assert fabric["lossless_classes"] == 2
+
+
+class TestCongestionLatencySmoke:
+    def test_loaded_phase_inflates_tail(self):
+        result = run_congestion_latency(phase_ns=15 * MS)
+        by_phase = {r["phase"]: r for r in result.rows()}
+        assert by_phase["loaded"]["rdma_p99_us"] > by_phase["idle"]["rdma_p99_us"]
+        assert by_phase["loaded"]["drops"] == 0

@@ -1,0 +1,84 @@
+"""Tests for the figure 9(a) server health tracker."""
+
+import pytest
+
+from repro.monitoring import HealthTracker, Pingmesh, ServerState
+from repro.monitoring.pingmesh import ProbeResult
+from repro.sim import SeededRng
+from repro.sim.units import MS
+from repro.topo import single_switch
+
+
+def ok(dst, t=0):
+    return ProbeResult(t, "src", dst, rtt_ns=1000)
+
+
+def fail(dst, t=0):
+    return ProbeResult(t, "src", dst, error="timeout")
+
+
+class TestStateMachine:
+    def test_starts_healthy(self):
+        tracker = HealthTracker()
+        assert tracker.state_of("s") == ServerState.HEALTHY
+
+    def test_consecutive_failures_fail_the_server(self):
+        tracker = HealthTracker(fail_threshold=3)
+        tracker.observe_all([fail("s"), fail("s")])
+        assert tracker.state_of("s") == ServerState.HEALTHY
+        tracker.observe(fail("s"))
+        assert tracker.state_of("s") == ServerState.FAILING
+
+    def test_sporadic_failures_do_not(self):
+        tracker = HealthTracker(fail_threshold=3)
+        tracker.observe_all([fail("s"), ok("s"), fail("s"), ok("s"), fail("s")])
+        assert tracker.state_of("s") == ServerState.HEALTHY
+
+    def test_recovery_goes_through_probation(self):
+        tracker = HealthTracker(fail_threshold=2, probation_successes=2)
+        tracker.observe_all([fail("s"), fail("s")])
+        assert tracker.state_of("s") == ServerState.FAILING
+        tracker.observe_all([ok("s"), ok("s")])
+        assert tracker.state_of("s") == ServerState.PROBATION
+        tracker.observe_all([ok("s"), ok("s")])
+        assert tracker.state_of("s") == ServerState.HEALTHY
+
+    def test_failure_in_probation_returns_to_failing(self):
+        tracker = HealthTracker(fail_threshold=2, probation_successes=2)
+        tracker.observe_all([fail("s"), fail("s"), ok("s"), ok("s")])
+        assert tracker.state_of("s") == ServerState.PROBATION
+        tracker.observe_all([fail("s"), fail("s")])
+        assert tracker.state_of("s") == ServerState.FAILING
+
+    def test_census_and_availability(self):
+        tracker = HealthTracker(fail_threshold=1)
+        tracker.observe_all([ok("a"), ok("b"), fail("c")])
+        census = tracker.census()
+        assert census[ServerState.HEALTHY] == 2
+        assert census[ServerState.FAILING] == 1
+        assert tracker.availability() == pytest.approx(2 / 3)
+        assert tracker.failing_hosts() == ["c"]
+
+    def test_transitions_logged(self):
+        tracker = HealthTracker(fail_threshold=1)
+        tracker.observe(fail("s", t=42))
+        assert tracker.transitions == [
+            (42, "s", ServerState.HEALTHY, ServerState.FAILING)
+        ]
+
+
+class TestWithPingmesh:
+    def test_storming_nic_marked_failing(self):
+        # Figure 9(a) end to end: the stormy server's probes fail and
+        # the tracker flips it to F while bystanders stay H.
+        topo = single_switch(n_hosts=3).boot()
+        rng = SeededRng(81, "health")
+        pingmesh = Pingmesh(topo.sim, rng, interval_ns=1 * MS)
+        pingmesh.add_pair(topo.hosts[1], topo.hosts[0])  # victim as dst
+        pingmesh.add_pair(topo.hosts[1], topo.hosts[2])  # bystander as dst
+        topo.hosts[0].nic.break_rx_pipeline()
+        pingmesh.start()
+        topo.sim.run(until=topo.sim.now + 20 * MS)
+        tracker = HealthTracker().observe_all(pingmesh.results)
+        assert tracker.state_of(topo.hosts[0].name) == ServerState.FAILING
+        assert tracker.state_of(topo.hosts[2].name) == ServerState.HEALTHY

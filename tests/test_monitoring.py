@@ -1,0 +1,146 @@
+"""Tests for monitoring: counters, config drift, pingmesh, incidents."""
+
+import pytest
+
+from repro.monitoring import (
+    ConfigMonitor,
+    CounterCollector,
+    DesiredConfig,
+    IncidentDetector,
+    Pingmesh,
+)
+from repro.packets.packet import PriorityMode
+from repro.rdma import connect_qp_pair, post_send
+from repro.sim import SeededRng
+from repro.sim.units import KB, MB, MS, US
+from repro.switch.buffer import BufferConfig
+from repro.switch.pfc import PfcConfig
+from repro.topo import single_switch
+from repro.workloads import ClosedLoopSender, RdmaChannel
+
+
+def desired():
+    return DesiredConfig(
+        priority_mode=PriorityMode.DSCP,
+        lossless_priorities=frozenset((3, 4)),
+        buffer_alpha=1.0 / 16,
+    )
+
+
+class TestConfigMonitor:
+    def test_compliant_fabric_reports_nothing(self):
+        topo = single_switch(n_hosts=2).boot()
+        assert ConfigMonitor(desired()).check_fabric(topo.fabric) == []
+
+    def test_alpha_drift_detected(self):
+        # The section 6.2 incident class: one switch running 1/64.
+        topo = single_switch(n_hosts=2, buffer_config=BufferConfig(alpha=1.0 / 64)).boot()
+        drifts = ConfigMonitor(desired()).check_fabric(topo.fabric)
+        assert any(d.field == "buffer_alpha" and d.running == 1.0 / 64 for d in drifts)
+
+    def test_priority_mode_drift_detected(self):
+        topo = single_switch(
+            n_hosts=2, pfc_config=PfcConfig(priority_mode=PriorityMode.VLAN)
+        ).boot()
+        drifts = ConfigMonitor(desired()).check_fabric(topo.fabric)
+        fields = {d.field for d in drifts}
+        assert "priority_mode" in fields
+
+    def test_lossless_priority_drift_on_host(self):
+        topo = single_switch(n_hosts=1, pfc_config=PfcConfig(lossless_priorities=(3,))).boot()
+        drifts = ConfigMonitor(desired()).check_fabric(topo.fabric)
+        assert any(d.device.startswith("S0") for d in drifts)
+
+    def test_drift_from_design(self):
+        from repro.core import DscpPfcDesign
+
+        config = DesiredConfig.from_design(DscpPfcDesign(lossless_priorities=(3, 4)))
+        topo = single_switch(n_hosts=1).boot()
+        assert ConfigMonitor(config).check_fabric(topo.fabric) == []
+
+
+class TestCounterCollector:
+    def test_collects_series(self):
+        topo = single_switch(n_hosts=2).boot()
+        collector = CounterCollector(topo.sim, topo.fabric, interval_ns=1 * MS).start()
+        rng = SeededRng(1, "cc")
+        qp, _ = connect_qp_pair(topo.hosts[0], topo.hosts[1], rng)
+        post_send(qp, 1 * MB)
+        topo.sim.run(until=topo.sim.now + 5 * MS)
+        collector.stop()
+        series = collector.series("T0", "rx_bytes")
+        assert len(series) >= 4
+        assert series[-1][1] > 0
+
+    def test_rate_series_deltas(self):
+        topo = single_switch(n_hosts=2).boot()
+        collector = CounterCollector(topo.sim, topo.fabric, interval_ns=1 * MS).start()
+        topo.sim.run(until=topo.sim.now + 3 * MS)
+        deltas = collector.rate_series("T0", "rx_bytes")
+        assert all(d >= 0 for _, d in deltas)
+
+    def test_devices_cover_switches_and_hosts(self):
+        topo = single_switch(n_hosts=2).boot()
+        collector = CounterCollector(topo.sim, topo.fabric, interval_ns=1 * MS).start()
+        topo.sim.run(until=topo.sim.now + 1 * MS)
+        devices = collector.devices()
+        assert "T0" in devices
+        assert "S0" in devices
+
+
+class TestPingmesh:
+    def test_probes_record_rtt(self):
+        topo = single_switch(n_hosts=2).boot()
+        rng = SeededRng(2, "pm")
+        pingmesh = Pingmesh(topo.sim, rng, interval_ns=1 * MS)
+        pingmesh.add_pair(topo.hosts[0], topo.hosts[1])
+        pingmesh.start()
+        topo.sim.run(until=topo.sim.now + 10 * MS)
+        pingmesh.stop()
+        assert len(pingmesh.rtts_ns()) >= 5
+        assert pingmesh.error_rate() == 0.0
+        assert pingmesh.rtt_percentile_us(50) > 0
+
+    def test_full_mesh_pairs(self):
+        topo = single_switch(n_hosts=3).boot()
+        rng = SeededRng(2, "pm")
+        pingmesh = Pingmesh(topo.sim, rng, interval_ns=1 * MS)
+        pingmesh.add_full_mesh(topo.hosts)
+        assert len(pingmesh._pairs) == 6  # 3x2 directed pairs
+
+    def test_dead_destination_logs_timeouts(self):
+        # The paper: "logs the measured RTT (if probes succeed) or error
+        # code (if probes fail)" -- this is how dead paths are inferred.
+        topo = single_switch(n_hosts=2).boot()
+        rng = SeededRng(2, "pm")
+        pingmesh = Pingmesh(topo.sim, rng, interval_ns=1 * MS)
+        pingmesh.add_pair(topo.hosts[0], topo.hosts[1])
+        topo.hosts[1].die()
+        pingmesh.start()
+        topo.sim.run(until=topo.sim.now + 10 * MS)
+        assert pingmesh.error_rate() > 0.5
+
+
+class TestIncidentDetector:
+    def test_traces_storm_to_origin(self):
+        topo = single_switch(n_hosts=3, buffer_config=BufferConfig(
+            alpha=None, xoff_static_bytes=48 * KB)).boot()
+        collector = CounterCollector(topo.sim, topo.fabric, interval_ns=1 * MS).start()
+        victim = topo.hosts[0]
+        victim.nic.break_rx_pipeline()
+        rng = SeededRng(5, "storm")
+        qp, _ = connect_qp_pair(topo.hosts[1], victim, rng)
+        ClosedLoopSender(RdmaChannel(qp), 1 * MB).start()
+        topo.sim.run(until=topo.sim.now + 20 * MS)
+        collector.stop()
+        detector = IncidentDetector(collector, pause_rate_threshold=3)
+        assert detector.trace_origin() == victim.name
+        assert detector.pause_sources()
+
+    def test_quiet_fabric_has_no_incidents(self):
+        topo = single_switch(n_hosts=2).boot()
+        collector = CounterCollector(topo.sim, topo.fabric, interval_ns=1 * MS).start()
+        topo.sim.run(until=topo.sim.now + 5 * MS)
+        detector = IncidentDetector(collector, pause_rate_threshold=3)
+        assert detector.pause_storms() == []
+        assert detector.trace_origin() is None

@@ -1,0 +1,261 @@
+"""Unit tests for the NIC: rx pipeline, pause generation, watchdog, tx
+scheduling."""
+
+import pytest
+
+from repro.nic.nic import Nic, NicConfig, NicWatchdogConfig
+from repro.net import Device, Link
+from repro.packets import Ipv4Header, Packet, UdpHeader
+from repro.packets.rocev2 import BaseTransportHeader, BthOpcode, ROCEV2_UDP_PORT
+from repro.sim import Simulator
+from repro.sim.units import KB, MS, US, gbps
+from repro.switch.pfc import PfcConfig
+
+
+class FakeTor(Device):
+    """Far end of the NIC's link; records pause frames and data."""
+
+    def __init__(self, sim):
+        super().__init__(sim, "tor")
+        self.pauses = []
+        self.resumes = []
+        self.data = []
+
+    def handle_packet(self, port, packet):
+        if packet.is_pause:
+            if packet.pause.paused_priorities:
+                self.pauses.append(self.sim.now)
+            else:
+                self.resumes.append(self.sim.now)
+        else:
+            self.data.append(packet)
+
+
+def make_nic(sim, **config_kwargs):
+    # The watchdog poll timer re-arms forever, so tests that want a
+    # quiescent simulator disable it unless they test it explicitly.
+    config_kwargs.setdefault("watchdog_config", NicWatchdogConfig(enabled=False))
+    config = NicConfig(
+        pfc_config=PfcConfig(lossless_priorities=(3,)),
+        rx_buffer_bytes=64 * KB,
+        rx_xoff_bytes=32 * KB,
+        rx_xon_bytes=16 * KB,
+        **config_kwargs,
+    )
+    nic = Nic(sim, "nic", mac=0xAA, config=config)
+    tor = FakeTor(sim)
+    Link(sim, nic.port, tor.add_port(), rate_bps=gbps(40), delay_ns=10)
+    return nic, tor
+
+
+def data_packet(dst_mac=0xAA, payload=1024, psn=0):
+    return Packet.rocev2(
+        dst_mac=dst_mac,
+        src_mac=0xBB,
+        ip=Ipv4Header(src=1, dst=2, dscp=3),
+        udp=UdpHeader(src_port=50000, dst_port=ROCEV2_UDP_PORT),
+        bth=BaseTransportHeader(opcode=BthOpcode.SEND_ONLY, dest_qp=1, psn=psn),
+        payload_bytes=payload,
+    )
+
+
+class TestRxPipeline:
+    def test_processes_and_delivers(self):
+        sim = Simulator()
+        nic, tor = make_nic(sim)
+        got = []
+        nic.rx_handler = got.append
+        nic.handle_packet(nic.port, data_packet())
+        sim.run(until=sim.now + 2 * MS)
+        assert len(got) == 1
+        assert nic.stats.rx_processed == 1
+
+    def test_wrong_mac_discarded(self):
+        # "the destination MAC does not match" -- flood copies die here.
+        sim = Simulator()
+        nic, tor = make_nic(sim)
+        nic.handle_packet(nic.port, data_packet(dst_mac=0xCC))
+        sim.run(until=sim.now + 2 * MS)
+        assert nic.stats.rx_dropped_mac == 1
+        assert nic.stats.rx_processed == 0
+
+    def test_broadcast_accepted(self):
+        sim = Simulator()
+        nic, tor = make_nic(sim)
+        got = []
+        nic.rx_handler = got.append
+        nic.handle_packet(nic.port, data_packet(dst_mac=0xFFFFFFFFFFFF))
+        sim.run(until=sim.now + 2 * MS)
+        assert got
+
+    def test_backlog_crosses_xoff_generates_pause(self):
+        sim = Simulator()
+        nic, tor = make_nic(sim, rx_base_ns_per_packet=10_000)  # very slow
+        for psn in range(40):  # 40 KB > 32 KB XOFF
+            nic.handle_packet(nic.port, data_packet(psn=psn))
+        sim.run(until=sim.now + 1 * MS)
+        assert nic.stats.pause_generated >= 1
+        assert tor.pauses
+
+    def test_xon_resumes_after_drain(self):
+        sim = Simulator()
+        nic, tor = make_nic(sim, rx_base_ns_per_packet=1_000)
+        for psn in range(40):
+            nic.handle_packet(nic.port, data_packet(psn=psn))
+        sim.run(until=sim.now + 1 * MS)
+        assert tor.resumes  # drained below XON -> explicit resume
+        assert nic.rx_occupancy_bytes == 0
+
+    def test_dead_nic_drops_everything(self):
+        sim = Simulator()
+        nic, tor = make_nic(sim)
+        nic.die()
+        nic.handle_packet(nic.port, data_packet())
+        sim.run(until=sim.now + 2 * MS)
+        assert nic.stats.rx_dropped_dead == 1
+
+    def test_buffer_overrun_counted_when_pauses_disabled(self):
+        sim = Simulator()
+        nic, tor = make_nic(sim)
+        nic.pause_generation_disabled = True
+        nic.break_rx_pipeline()
+        for psn in range(100):  # 100 KB > 64 KB buffer
+            nic.handle_packet(nic.port, data_packet(psn=psn))
+        assert nic.stats.rx_dropped_buffer > 0
+
+
+class TestStormBug:
+    def test_broken_pipeline_pauses_continuously(self):
+        sim = Simulator()
+        nic, tor = make_nic(sim, watchdog_config=NicWatchdogConfig(enabled=False))
+        nic.break_rx_pipeline()
+        sim.run(until=sim.now + 5 * MS)
+        # Refresh keeps the pause alive: multiple pause frames, no resume.
+        assert len(tor.pauses) >= 5
+        assert not tor.resumes
+
+    def test_watchdog_trips_and_silences_pauses(self):
+        sim = Simulator()
+        nic, tor = make_nic(
+            sim,
+            watchdog_config=NicWatchdogConfig(
+                stall_threshold_ns=1 * MS, poll_interval_ns=200 * US
+            ),
+        )
+        nic.break_rx_pipeline()
+        sim.run(until=sim.now + 3 * MS)
+        assert nic.watchdog_trips == 1
+        assert nic.pause_generation_disabled
+        pauses_at_trip = len(tor.pauses)
+        sim.run(until=sim.now + 5 * MS)
+        assert len(tor.pauses) == pauses_at_trip  # silence after the trip
+
+    def test_watchdog_does_not_rearm(self):
+        # Paper: "the NIC watchdog does not re-enable the lossless mode"
+        # because a storming NIC never recovers on its own.
+        sim = Simulator()
+        nic, tor = make_nic(
+            sim,
+            watchdog_config=NicWatchdogConfig(
+                stall_threshold_ns=1 * MS, poll_interval_ns=200 * US
+            ),
+        )
+        nic.break_rx_pipeline()
+        sim.run(until=sim.now + 10 * MS)
+        assert nic.pause_generation_disabled
+
+    def test_repair_restores_service(self):
+        # "the NIC PFC storm problem typically can be fixed by a server
+        # reboot."
+        sim = Simulator()
+        nic, tor = make_nic(
+            sim,
+            watchdog_config=NicWatchdogConfig(
+                stall_threshold_ns=1 * MS, poll_interval_ns=200 * US
+            ),
+        )
+        nic.break_rx_pipeline()
+        sim.run(until=sim.now + 3 * MS)
+        assert nic.pause_generation_disabled
+        nic.repair()
+        assert not nic.pause_generation_disabled
+        got = []
+        nic.rx_handler = got.append
+        nic.handle_packet(nic.port, data_packet())
+        sim.run(until=sim.now + 1 * MS)
+        assert got
+
+    def test_healthy_nic_never_trips_watchdog(self):
+        sim = Simulator()
+        nic, tor = make_nic(
+            sim,
+            watchdog_config=NicWatchdogConfig(
+                stall_threshold_ns=1 * MS, poll_interval_ns=200 * US
+            ),
+        )
+        for psn in range(20):
+            nic.handle_packet(nic.port, data_packet(psn=psn))
+        sim.run(until=sim.now + 10 * MS)
+        assert nic.watchdog_trips == 0
+
+
+class _StubSource:
+    """Minimal tx source for scheduler tests."""
+
+    def __init__(self, nic, tag, count, ready_at=0):
+        self.nic = nic
+        self.tag = tag
+        self.remaining = count
+        self.ready_at = ready_at
+        self.pulled = []
+
+    def next_ready_ns(self):
+        if self.remaining <= 0:
+            return None
+        return self.ready_at
+
+    def pull(self):
+        self.remaining -= 1
+        packet = data_packet(dst_mac=0xDD, psn=len(self.pulled))
+        packet.flow = self.tag
+        self.pulled.append(packet)
+        return packet, 3
+
+
+class TestTxScheduler:
+    def test_round_robin_between_sources(self):
+        sim = Simulator()
+        nic, tor = make_nic(sim)
+        a = _StubSource(nic, "a", 20)
+        b = _StubSource(nic, "b", 20)
+        nic.register_source(a)
+        nic.register_source(b)
+        sim.run(until=sim.now + 2 * MS)
+        flows = [p.flow for p in tor.data[:10]]
+        # Interleaved service, not a 20-packet run of one source.
+        assert "a" in flows and "b" in flows
+
+    def test_future_ready_time_respected(self):
+        sim = Simulator()
+        nic, tor = make_nic(sim)
+        late = _StubSource(nic, "late", 1, ready_at=1 * MS)
+        nic.register_source(late)
+        sim.run(until=sim.now + 2 * MS)
+        assert len(tor.data) == 1
+        # Packet cannot have left before its pacing gate opened.
+        assert late.pulled[0].uid is not None
+        assert tor.data[0].flow == "late"
+
+    def test_ip_ids_sequential(self):
+        sim = Simulator()
+        nic, _ = make_nic(sim)
+        ids = [nic.next_ip_id() for _ in range(300)]
+        assert ids[:3] == [0, 1, 2]
+        assert ids == [i & 0xFFFF for i in range(300)]
+
+    def test_ip_id_wraps_at_16_bits(self):
+        sim = Simulator()
+        nic, _ = make_nic(sim)
+        nic._ip_id = 0xFFFF
+        assert nic.next_ip_id() == 0xFFFF
+        assert nic.next_ip_id() == 0

@@ -1,0 +1,87 @@
+"""Unit tests for the MTT cache (slow-receiver symptom substrate)."""
+
+import pytest
+
+from repro.nic.mtt import MttCache, MttConfig
+from repro.sim.units import KB, MB
+
+
+class TestMttConfig:
+    def test_paper_coverage_numbers(self):
+        # Section 4.4: "For 4KB page size, 2K MTT entries can only handle
+        # 8MB memory."
+        small_pages = MttConfig(entries=2048, page_bytes=4 * KB)
+        assert small_pages.coverage_bytes == 8 * MB
+        # The fix: 2 MB pages stretch the same 2K entries to 4 GB.
+        large_pages = MttConfig(entries=2048, page_bytes=2 * MB)
+        assert large_pages.coverage_bytes == 4 * 1024 * MB
+
+    def test_page_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            MttConfig(page_bytes=3000)
+
+    def test_entries_positive(self):
+        with pytest.raises(ValueError):
+            MttConfig(entries=0)
+
+
+class TestMttCache:
+    def test_first_touch_misses_then_hits(self):
+        cache = MttCache(MttConfig(entries=16, page_bytes=4 * KB, miss_penalty_ns=100))
+        assert cache.touch(0, 1024) == 100
+        assert cache.touch(0, 1024) == 0
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_access_spanning_pages_misses_each(self):
+        cache = MttCache(MttConfig(entries=16, page_bytes=4 * KB, miss_penalty_ns=100))
+        stall = cache.touch(0, 12 * KB)  # pages 0, 1, 2
+        assert stall == 300
+
+    def test_lru_eviction(self):
+        cache = MttCache(MttConfig(entries=2, page_bytes=4 * KB, miss_penalty_ns=100))
+        cache.touch(0 * 4 * KB, 1)
+        cache.touch(1 * 4 * KB, 1)
+        cache.touch(0 * 4 * KB, 1)  # page 0 now most recent
+        cache.touch(2 * 4 * KB, 1)  # evicts page 1
+        assert cache.touch(0 * 4 * KB, 1) == 0
+        assert cache.touch(1 * 4 * KB, 1) == 100
+
+    def test_working_set_within_coverage_stops_missing(self):
+        cache = MttCache(MttConfig(entries=64, page_bytes=4 * KB, miss_penalty_ns=100))
+        for _ in range(3):
+            for page in range(32):
+                cache.touch(page * 4 * KB, 1024)
+        assert cache.misses == 32  # cold misses only
+
+    def test_working_set_beyond_coverage_thrashes(self):
+        cache = MttCache(MttConfig(entries=16, page_bytes=4 * KB, miss_penalty_ns=100))
+        for _ in range(3):
+            for page in range(64):
+                cache.touch(page * 4 * KB, 1024)
+        assert cache.miss_rate == 1.0
+
+    def test_large_pages_fix_the_same_working_set(self):
+        # The same byte working set that thrashes 4 KB pages fits easily
+        # in 2 MB pages -- the paper's mitigation.
+        working_set = 64 * MB  # >> 8 MB of 4 KB-page coverage
+        step = 4 * KB
+
+        def run(page_bytes):
+            cache = MttCache(MttConfig(entries=2048, page_bytes=page_bytes, miss_penalty_ns=100))
+            for _ in range(2):
+                for addr in range(0, working_set, step):
+                    cache.touch(addr, 1024)
+            return cache.miss_rate
+
+        assert run(4 * KB) == 1.0  # 16384 distinct pages thrash 2K entries
+        assert run(2 * MB) < 0.01  # 32 pages: cold misses only
+
+    def test_disabled_cache_never_stalls(self):
+        cache = MttCache(MttConfig(enabled=False))
+        assert cache.touch(0, 10 * MB) == 0
+        assert cache.misses == 0
+
+    def test_zero_bytes_no_stall(self):
+        cache = MttCache(MttConfig())
+        assert cache.touch(0, 0) == 0

@@ -1,0 +1,356 @@
+"""Unit tests for the byte-accurate packet layer."""
+
+import pytest
+
+from repro.packets import (
+    Aeth,
+    ArpPacket,
+    BaseTransportHeader,
+    BthOpcode,
+    EthernetFrame,
+    Ipv4Header,
+    Packet,
+    PfcPauseFrame,
+    PriorityMode,
+    TcpHeader,
+    UdpHeader,
+    VlanTag,
+    resolve_priority,
+)
+from repro.packets.ethernet import (
+    ETHERTYPE_IPV4,
+    ETHERTYPE_MAC_CONTROL,
+    ETHERTYPE_VLAN,
+    mac_from_str,
+    mac_to_str,
+)
+from repro.packets.ip import ECN_CE, ECN_ECT0, checksum16, ip_from_str, ip_to_str
+from repro.packets.pause import ns_to_pause_quanta, pause_quanta_to_ns
+from repro.packets.rocev2 import ROCEV2_UDP_PORT, psn_add, psn_distance
+from repro.sim.units import gbps
+
+
+class TestMacHelpers:
+    def test_round_trip(self):
+        mac = 0x001122AABBCC
+        assert mac_from_str(mac_to_str(mac)) == mac
+
+    def test_render(self):
+        assert mac_to_str(0xFFFFFFFFFFFF) == "ff:ff:ff:ff:ff:ff"
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            mac_from_str("00:11:22")
+
+
+class TestVlanTag:
+    def test_pack_layout(self):
+        tag = VlanTag(pcp=3, dei=1, vid=0x123)
+        data = tag.pack()
+        assert data[:2] == b"\x81\x00"  # TPID fixed to 0x8100 (paper fig. 3)
+        tci = int.from_bytes(data[2:4], "big")
+        assert tci >> 13 == 3
+        assert (tci >> 12) & 1 == 1
+        assert tci & 0xFFF == 0x123
+
+    def test_round_trip(self):
+        tag = VlanTag(pcp=7, dei=0, vid=4095)
+        assert VlanTag.unpack(tag.pack()) == tag
+
+    def test_field_ranges(self):
+        with pytest.raises(ValueError):
+            VlanTag(pcp=8)
+        with pytest.raises(ValueError):
+            VlanTag(vid=4096)
+        with pytest.raises(ValueError):
+            VlanTag(dei=2)
+
+    def test_priority_and_vid_are_coupled(self):
+        # The crux of section 3: you cannot carry a PCP without a VID --
+        # the tag always serializes both.
+        tag = VlanTag(pcp=3)
+        assert len(tag.pack()) == 4
+        parsed = VlanTag.unpack(tag.pack())
+        assert parsed.pcp == 3
+        assert parsed.vid == 0
+
+
+class TestEthernetFrame:
+    def test_untagged_round_trip(self):
+        frame = EthernetFrame(
+            dst=0x0A0B0C0D0E0F, src=0x010203040506, ethertype=ETHERTYPE_IPV4, payload=b"hello"
+        )
+        parsed = EthernetFrame.unpack(frame.pack())
+        assert parsed.dst == frame.dst
+        assert parsed.src == frame.src
+        assert parsed.ethertype == ETHERTYPE_IPV4
+        assert parsed.payload == b"hello"
+        assert not parsed.is_tagged
+
+    def test_tagged_round_trip(self):
+        frame = EthernetFrame(
+            dst=1, src=2, ethertype=ETHERTYPE_IPV4, payload=b"x" * 46, vlan=VlanTag(pcp=5, vid=7)
+        )
+        parsed = EthernetFrame.unpack(frame.pack())
+        assert parsed.is_tagged
+        assert parsed.vlan == VlanTag(pcp=5, vid=7)
+        assert parsed.ethertype == ETHERTYPE_IPV4
+
+    def test_sizes(self):
+        frame = EthernetFrame(dst=1, src=2, ethertype=ETHERTYPE_IPV4, payload=b"x" * 100)
+        assert frame.size_bytes == 14 + 100 + 4
+        tagged = EthernetFrame(
+            dst=1, src=2, ethertype=ETHERTYPE_IPV4, payload=b"x" * 100, vlan=VlanTag()
+        )
+        assert tagged.size_bytes == frame.size_bytes + 4
+        assert frame.wire_bytes == frame.size_bytes + 20
+
+
+class TestIpv4Header:
+    def test_round_trip(self):
+        header = Ipv4Header(
+            src=ip_from_str("10.0.0.1"),
+            dst=ip_from_str("10.0.1.2"),
+            dscp=46,
+            ecn=ECN_ECT0,
+            total_length=1064,
+            identification=0x1234,
+            ttl=17,
+        )
+        parsed = Ipv4Header.unpack(header.pack())
+        assert ip_to_str(parsed.src) == "10.0.0.1"
+        assert ip_to_str(parsed.dst) == "10.0.1.2"
+        assert parsed.dscp == 46
+        assert parsed.ecn == ECN_ECT0
+        assert parsed.total_length == 1064
+        assert parsed.identification == 0x1234
+        assert parsed.ttl == 17
+
+    def test_checksum_is_valid(self):
+        header = Ipv4Header(src=1, dst=2)
+        assert checksum16(header.pack()) == 0
+
+    def test_corrupt_checksum_detected(self):
+        data = bytearray(Ipv4Header(src=1, dst=2).pack())
+        data[8] ^= 0xFF
+        with pytest.raises(ValueError):
+            Ipv4Header.unpack(bytes(data))
+
+    def test_ce_marking(self):
+        header = Ipv4Header(src=1, dst=2, ecn=ECN_ECT0)
+        assert header.ect_capable
+        assert not header.ce_marked
+        header.mark_ce()
+        assert header.ce_marked
+        assert header.ecn == ECN_CE
+
+    def test_dscp_range(self):
+        with pytest.raises(ValueError):
+            Ipv4Header(src=1, dst=2, dscp=64)
+
+    def test_ip_id_is_16_bits(self):
+        with pytest.raises(ValueError):
+            Ipv4Header(src=1, dst=2, identification=0x10000)
+
+
+class TestUdpHeader:
+    def test_round_trip(self):
+        header = UdpHeader(src_port=54321, dst_port=ROCEV2_UDP_PORT, length=1052)
+        parsed = UdpHeader.unpack(header.pack())
+        assert parsed.src_port == 54321
+        assert parsed.dst_port == 4791
+        assert parsed.length == 1052
+
+    def test_port_range(self):
+        with pytest.raises(ValueError):
+            UdpHeader(src_port=70000, dst_port=1)
+
+
+class TestBth:
+    def test_round_trip(self):
+        bth = BaseTransportHeader(
+            opcode=BthOpcode.SEND_MIDDLE, dest_qp=0x123456, psn=0xABCDEF, ack_req=True
+        )
+        parsed = BaseTransportHeader.unpack(bth.pack())
+        assert parsed.opcode == BthOpcode.SEND_MIDDLE
+        assert parsed.dest_qp == 0x123456
+        assert parsed.psn == 0xABCDEF
+        assert parsed.ack_req
+
+    def test_bth_is_12_bytes(self):
+        bth = BaseTransportHeader(opcode=BthOpcode.SEND_ONLY, dest_qp=1, psn=0)
+        assert len(bth.pack()) == 12
+
+    def test_psn_is_24_bits(self):
+        with pytest.raises(ValueError):
+            BaseTransportHeader(opcode=BthOpcode.SEND_ONLY, dest_qp=1, psn=1 << 24)
+
+    def test_opcode_properties(self):
+        assert BthOpcode.SEND_LAST.is_last_segment
+        assert BthOpcode.RDMA_WRITE_ONLY.is_last_segment
+        assert not BthOpcode.SEND_MIDDLE.is_last_segment
+        assert not BthOpcode.ACKNOWLEDGE.is_data
+        assert not BthOpcode.CNP.is_data
+        assert BthOpcode.RDMA_READ_RESPONSE_MIDDLE.is_read_response
+
+    def test_psn_arithmetic_wraps(self):
+        assert psn_add(0xFFFFFF, 1) == 0
+        assert psn_distance(0, 0xFFFFFF) == 1
+        assert psn_distance(5, 2) == 3
+
+
+class TestAeth:
+    def test_ack_round_trip(self):
+        aeth = Aeth(syndrome=0, msn=12345)
+        parsed = Aeth.unpack(aeth.pack())
+        assert not parsed.is_nak
+        assert parsed.msn == 12345
+
+    def test_nak_round_trip(self):
+        aeth = Aeth(syndrome=0b011, msn=7)
+        assert Aeth.unpack(aeth.pack()).is_nak
+
+
+class TestPfcPauseFrame:
+    def test_pause_frame_has_no_vlan_tag(self):
+        # Figure 3: "the PFC pause frames do not have a VLAN tag at all."
+        packet = Packet.pfc_pause(dst_mac=1, src_mac=2, pause=PfcPauseFrame.pause([3]))
+        assert packet.vlan is None
+        assert packet.ethertype == ETHERTYPE_MAC_CONTROL
+
+    def test_class_enable_vector(self):
+        frame = PfcPauseFrame.pause([0, 3], quanta=100)
+        assert frame.class_enable_vector == 0b1001
+        assert frame.paused_priorities == [0, 3]
+
+    def test_resume_is_zero_quanta(self):
+        frame = PfcPauseFrame.resume([3])
+        assert frame.resumed_priorities == [3]
+        assert frame.paused_priorities == []
+        assert frame.class_enable_vector == 0b1000
+
+    def test_round_trip(self):
+        frame = PfcPauseFrame({0: 0xFFFF, 3: 0, 7: 42})
+        parsed = PfcPauseFrame.unpack(frame.pack())
+        assert parsed.quanta == frame.quanta
+
+    def test_body_padded_to_ethernet_minimum(self):
+        assert PfcPauseFrame.pause([0]).size_bytes == 46
+
+    def test_quanta_duration_conversion(self):
+        # One quantum = 512 bit-times; at 40 Gb/s that's 12.8 ns.
+        assert pause_quanta_to_ns(1000, gbps(40)) == 12_800
+        assert ns_to_pause_quanta(12_800, gbps(40)) == 1000
+
+    def test_quanta_clamped_to_16_bits(self):
+        assert ns_to_pause_quanta(10**12, gbps(40)) == 0xFFFF
+
+    def test_invalid_priority_rejected(self):
+        with pytest.raises(ValueError):
+            PfcPauseFrame({8: 1})
+
+
+class TestArp:
+    def test_request_reply_round_trip(self):
+        request = ArpPacket.request(sender_mac=0xAA, sender_ip=1, target_ip=2)
+        parsed = ArpPacket.unpack(request.pack())
+        assert parsed.is_request
+        assert parsed.target_ip == 2
+        reply = ArpPacket.reply(sender_mac=0xBB, sender_ip=2, target_mac=0xAA, target_ip=1)
+        parsed = ArpPacket.unpack(reply.pack())
+        assert not parsed.is_request
+        assert parsed.sender_mac == 0xBB
+
+
+class TestTcpHeader:
+    def test_round_trip(self):
+        header = TcpHeader(src_port=1234, dst_port=80, seq=10**9, ack=42, window=5000)
+        parsed = TcpHeader.unpack(header.pack())
+        assert parsed.seq == 10**9
+        assert parsed.ack == 42
+        assert parsed.window == 5000
+
+    def test_flags(self):
+        from repro.packets.tcp import FLAG_ACK, FLAG_SYN
+
+        header = TcpHeader(src_port=1, dst_port=2, flags=FLAG_SYN | FLAG_ACK)
+        assert header.has(FLAG_SYN)
+        assert header.has(FLAG_ACK)
+
+
+class TestPacketEnvelope:
+    def _rocev2_packet(self, payload=1024, vlan=None, dscp=3):
+        ip = Ipv4Header(src=1, dst=2, dscp=dscp)
+        udp = UdpHeader(src_port=50000, dst_port=ROCEV2_UDP_PORT)
+        bth = BaseTransportHeader(opcode=BthOpcode.SEND_ONLY, dest_qp=5, psn=0)
+        return Packet.rocev2(
+            dst_mac=2, src_mac=1, ip=ip, udp=udp, bth=bth, payload_bytes=payload, vlan=vlan
+        )
+
+    def test_paper_frame_size(self):
+        # Section 5.4: "The RDMA frame size is 1086 bytes with 1024 bytes as
+        # payload": 14 (Eth) + 20 (IP) + 8 (UDP) + 12 (BTH) + 1024 + 4
+        # (ICRC) + 4 (FCS) = 1086.
+        packet = self._rocev2_packet(payload=1024)
+        assert packet.size_bytes == 1086
+
+    def test_rocev2_requires_port_4791(self):
+        ip = Ipv4Header(src=1, dst=2)
+        udp = UdpHeader(src_port=50000, dst_port=4792)
+        bth = BaseTransportHeader(opcode=BthOpcode.SEND_ONLY, dest_qp=5, psn=0)
+        with pytest.raises(ValueError):
+            Packet.rocev2(dst_mac=2, src_mac=1, ip=ip, udp=udp, bth=bth)
+
+    def test_five_tuple_udp(self):
+        packet = self._rocev2_packet()
+        assert packet.five_tuple == (1, 2, 17, 50000, 4791)
+
+    def test_five_tuple_tcp(self):
+        packet = Packet.tcp_segment(
+            dst_mac=2,
+            src_mac=1,
+            ip=Ipv4Header(src=3, dst=4, protocol=6),
+            tcp=TcpHeader(src_port=999, dst_port=80),
+        )
+        assert packet.five_tuple == (3, 4, 6, 999, 80)
+
+    def test_uids_are_unique(self):
+        first = self._rocev2_packet()
+        second = self._rocev2_packet()
+        assert first.uid != second.uid
+
+    def test_vlan_mode_priority(self):
+        packet = self._rocev2_packet(vlan=VlanTag(pcp=3, vid=10))
+        assert resolve_priority(packet, PriorityMode.VLAN) == 3
+
+    def test_vlan_mode_untagged_falls_back(self):
+        packet = self._rocev2_packet(vlan=None)
+        assert resolve_priority(packet, PriorityMode.VLAN, default_priority=0) == 0
+
+    def test_dscp_mode_identity_map(self):
+        packet = self._rocev2_packet(dscp=3)
+        assert resolve_priority(packet, PriorityMode.DSCP) == 3
+
+    def test_dscp_mode_explicit_map(self):
+        packet = self._rocev2_packet(dscp=46)
+        mapping = {46: 5}
+        assert resolve_priority(packet, PriorityMode.DSCP, dscp_to_priority=mapping) == 5
+        assert resolve_priority(packet, PriorityMode.DSCP, dscp_to_priority={}, default_priority=1) == 1
+
+    def test_pause_has_no_priority(self):
+        packet = Packet.pfc_pause(dst_mac=1, src_mac=2, pause=PfcPauseFrame.pause([3]))
+        with pytest.raises(ValueError):
+            resolve_priority(packet, PriorityMode.DSCP)
+
+    def test_same_stream_priority_differs_by_mode(self):
+        # Section 3's point: identical packet, different classification
+        # depending on whether the fabric reads PCP or DSCP.
+        packet = self._rocev2_packet(vlan=VlanTag(pcp=5, vid=9), dscp=3)
+        assert resolve_priority(packet, PriorityMode.VLAN) == 5
+        assert resolve_priority(packet, PriorityMode.DSCP) == 3
+
+    def test_arp_packet_priority_defaults(self):
+        packet = Packet.arp_packet(
+            dst_mac=0xFFFFFFFFFFFF, src_mac=1, arp=ArpPacket.request(1, 1, 2)
+        )
+        assert resolve_priority(packet, PriorityMode.DSCP, default_priority=0) == 0

@@ -1,0 +1,275 @@
+"""Property-based tests (hypothesis) on core data structures.
+
+These pin down the invariants the reproduction leans on: wire formats
+round-trip bit-exactly, buffer accounting never leaks, max-min
+allocations are feasible and fair, the event engine is causally ordered.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packets.arp import ArpPacket
+from repro.packets.ethernet import VlanTag, mac_from_str, mac_to_str
+from repro.packets.ip import Ipv4Header, checksum16, ip_from_str, ip_to_str
+from repro.packets.pause import (
+    MAX_QUANTA,
+    PfcPauseFrame,
+    ns_to_pause_quanta,
+    pause_quanta_to_ns,
+)
+from repro.packets.rocev2 import (
+    PSN_MASK,
+    Aeth,
+    BaseTransportHeader,
+    BthOpcode,
+    psn_add,
+    psn_distance,
+)
+from repro.packets.tcp import TcpHeader
+from repro.packets.udp import UdpHeader
+from repro.flows.maxmin import link_utilization, max_min_allocation
+from repro.sim import Simulator
+from repro.sim.units import GBPS, serialization_delay_ns
+from repro.switch.buffer import BufferConfig, SharedBuffer
+from repro.switch.ecmp import ecmp_select
+
+# --- wire formats ------------------------------------------------------------
+
+
+@given(pcp=st.integers(0, 7), dei=st.integers(0, 1), vid=st.integers(0, 4095))
+def test_vlan_tag_round_trips(pcp, dei, vid):
+    tag = VlanTag(pcp=pcp, dei=dei, vid=vid)
+    assert VlanTag.unpack(tag.pack()) == tag
+
+
+@given(mac=st.integers(0, (1 << 48) - 1))
+def test_mac_string_round_trips(mac):
+    assert mac_from_str(mac_to_str(mac)) == mac
+
+
+@given(
+    src=st.integers(0, 2**32 - 1),
+    dst=st.integers(0, 2**32 - 1),
+    dscp=st.integers(0, 63),
+    ecn=st.integers(0, 3),
+    ident=st.integers(0, 0xFFFF),
+    ttl=st.integers(1, 255),
+)
+def test_ipv4_round_trips_with_valid_checksum(src, dst, dscp, ecn, ident, ttl):
+    header = Ipv4Header(
+        src=src, dst=dst, dscp=dscp, ecn=ecn, identification=ident, ttl=ttl
+    )
+    packed = header.pack()
+    assert checksum16(packed) == 0
+    parsed = Ipv4Header.unpack(packed)
+    assert (parsed.src, parsed.dst, parsed.dscp, parsed.ecn) == (src, dst, dscp, ecn)
+    assert parsed.identification == ident
+
+
+@given(addr=st.integers(0, 2**32 - 1))
+def test_ip_string_round_trips(addr):
+    assert ip_from_str(ip_to_str(addr)) == addr
+
+
+@given(
+    opcode=st.sampled_from(list(BthOpcode)),
+    qpn=st.integers(0, (1 << 24) - 1),
+    psn=st.integers(0, PSN_MASK),
+    ack_req=st.booleans(),
+)
+def test_bth_round_trips(opcode, qpn, psn, ack_req):
+    bth = BaseTransportHeader(opcode=opcode, dest_qp=qpn, psn=psn, ack_req=ack_req)
+    parsed = BaseTransportHeader.unpack(bth.pack())
+    assert (parsed.opcode, parsed.dest_qp, parsed.psn, parsed.ack_req) == (
+        opcode,
+        qpn,
+        psn,
+        ack_req,
+    )
+
+
+@given(syndrome=st.sampled_from([0, 1, 3]), msn=st.integers(0, PSN_MASK))
+def test_aeth_round_trips(syndrome, msn):
+    parsed = Aeth.unpack(Aeth(syndrome=syndrome, msn=msn).pack())
+    assert int(parsed.syndrome) == syndrome
+    assert parsed.msn == msn
+
+
+@given(
+    quanta=st.dictionaries(st.integers(0, 7), st.integers(0, MAX_QUANTA), max_size=8)
+)
+def test_pause_frame_round_trips(quanta):
+    frame = PfcPauseFrame(quanta)
+    parsed = PfcPauseFrame.unpack(frame.pack())
+    assert parsed.quanta == frame.quanta
+
+
+@given(
+    sport=st.integers(0, 65535),
+    dport=st.integers(0, 65535),
+    seq=st.integers(0, 2**32 - 1),
+    ack=st.integers(0, 2**32 - 1),
+)
+def test_tcp_header_round_trips(sport, dport, seq, ack):
+    parsed = TcpHeader.unpack(TcpHeader(sport, dport, seq=seq, ack=ack).pack())
+    assert (parsed.src_port, parsed.dst_port, parsed.seq, parsed.ack) == (
+        sport,
+        dport,
+        seq,
+        ack,
+    )
+
+
+@given(sport=st.integers(0, 65535), dport=st.integers(0, 65535))
+def test_udp_header_round_trips(sport, dport):
+    parsed = UdpHeader.unpack(UdpHeader(sport, dport).pack())
+    assert (parsed.src_port, parsed.dst_port) == (sport, dport)
+
+
+@given(
+    op=st.sampled_from([1, 2]),
+    smac=st.integers(0, (1 << 48) - 1),
+    sip=st.integers(0, 2**32 - 1),
+    tmac=st.integers(0, (1 << 48) - 1),
+    tip=st.integers(0, 2**32 - 1),
+)
+def test_arp_round_trips(op, smac, sip, tmac, tip):
+    parsed = ArpPacket.unpack(ArpPacket(op, smac, sip, tmac, tip).pack())
+    assert (parsed.op, parsed.sender_mac, parsed.sender_ip) == (op, smac, sip)
+    assert (parsed.target_mac, parsed.target_ip) == (tmac, tip)
+
+
+# --- arithmetic invariants -----------------------------------------------------
+
+
+@given(psn=st.integers(0, PSN_MASK), delta=st.integers(0, PSN_MASK))
+def test_psn_add_then_distance_inverts(psn, delta):
+    assert psn_distance(psn_add(psn, delta), psn) == delta
+
+
+@given(quanta=st.integers(1, MAX_QUANTA), rate=st.sampled_from([10, 25, 40, 50, 100]))
+def test_pause_quanta_conversion_round_trips_upward(quanta, rate):
+    ns = pause_quanta_to_ns(quanta, rate * GBPS)
+    back = ns_to_pause_quanta(ns, rate * GBPS)
+    assert quanta - 1 <= back <= quanta + 1
+
+
+@given(nbytes=st.integers(1, 10_000), rate=st.sampled_from([1, 10, 40, 100]))
+def test_serialization_delay_never_exceeds_line_rate(nbytes, rate):
+    ns = serialization_delay_ns(nbytes, rate * GBPS)
+    # ceil rounding: delay covers at least the exact wire time.
+    assert ns * rate >= nbytes * 8  # rate Gb/s == bits per ns
+
+
+@given(
+    tup=st.tuples(
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 2**32 - 1),
+        st.integers(0, 255),
+        st.integers(0, 65535),
+        st.integers(0, 65535),
+    ),
+    n=st.integers(1, 64),
+    seed=st.integers(0, 2**32 - 1),
+)
+def test_ecmp_select_in_range_and_deterministic(tup, n, seed):
+    choice = ecmp_select(tup, n, seed)
+    assert 0 <= choice < n
+    assert ecmp_select(tup, n, seed) == choice
+
+
+# --- shared buffer conservation --------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(0, 3),  # port
+            st.sampled_from([0, 3]),  # priority (3 lossless)
+            st.integers(64, 9000),  # bytes
+        ),
+        min_size=1,
+        max_size=200,
+    )
+)
+def test_buffer_admit_release_conserves(ops):
+    buffer = SharedBuffer(
+        BufferConfig(alpha=None, xoff_static_bytes=64 * 1024),
+        n_ports=4,
+        lossless_priorities=(3,),
+    )
+    admitted = []
+    for port, priority, nbytes in ops:
+        if buffer.admit(port, priority, nbytes, lossless=(priority == 3)):
+            admitted.append((port, priority, nbytes))
+    assert buffer.total_occupancy == sum(n for _, _, n in admitted)
+    for port, priority, nbytes in admitted:
+        buffer.release(port, priority, nbytes)
+    assert buffer.total_occupancy == 0
+    assert buffer.shared_in_use == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    sizes=st.lists(st.integers(64, 9000), min_size=1, max_size=100),
+    alpha=st.sampled_from([1.0 / 4, 1.0 / 16, 1.0 / 64]),
+)
+def test_dynamic_threshold_never_negative_and_monotone(sizes, alpha):
+    buffer = SharedBuffer(BufferConfig(alpha=alpha), n_ports=2, lossless_priorities=(3,))
+    previous = buffer.threshold()
+    for nbytes in sizes:
+        buffer.admit(0, 3, nbytes, lossless=True)
+        current = buffer.threshold()
+        assert current >= 0
+        assert current <= previous  # filling can only shrink it
+        previous = current
+
+
+# --- max-min allocation ------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n_links=st.integers(1, 6),
+    n_flows=st.integers(1, 20),
+    data=st.data(),
+)
+def test_maxmin_is_feasible_and_positive(n_links, n_flows, data):
+    links = {i: data.draw(st.integers(1, 100)) for i in range(n_links)}
+    paths = [
+        data.draw(
+            st.lists(st.integers(0, n_links - 1), min_size=1, max_size=n_links, unique=True)
+        )
+        for _ in range(n_flows)
+    ]
+    rates = max_min_allocation(links, paths)
+    assert all(rate > 0 for rate in rates)
+    loads = link_utilization(links, paths, rates)
+    for link, load in loads.items():
+        assert load <= 1.0 + 1e-9  # never oversubscribed
+
+
+@settings(max_examples=50, deadline=None)
+@given(n_flows=st.integers(1, 30), capacity=st.integers(1, 1000))
+def test_maxmin_single_link_is_equal_split(n_flows, capacity):
+    rates = max_min_allocation({"l": float(capacity)}, [["l"]] * n_flows)
+    assert all(abs(rate - capacity / n_flows) < 1e-9 for rate in rates)
+
+
+# --- event engine ordering ------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(delays=st.lists(st.integers(0, 10_000), min_size=1, max_size=100))
+def test_engine_fires_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append((sim.now, d)))
+    sim.run_until_idle()
+    times = [t for t, _ in fired]
+    assert times == sorted(times)
+    assert sorted(d for _, d in fired) == sorted(delays)
+    # And each callback observed its own schedule time.
+    assert all(t == d for t, d in fired)

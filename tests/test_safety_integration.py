@@ -1,0 +1,117 @@
+"""Capstone integration: one hostile day, two deployment postures.
+
+Everything the paper survived, thrown at one fabric simultaneously:
+
+* random packet corruption on a link (the section 4.1 trigger);
+* a dead server whose MAC entry expired while its ARP entry lives (the
+  section 4.2 deadlock trigger);
+* a NIC whose receive pipeline dies while it keeps pausing (the
+  section 4.3 storm trigger).
+
+Under the *naive* profile (vendor go-back-0, lossless flooding allowed,
+no watchdogs) the healthy traffic should suffer badly; under the
+*paper-safe* profile (go-back-N, incomplete-ARP drop, both watchdogs)
+the healthy flow keeps completing messages and no deadlock forms.
+"""
+
+import pytest
+
+from repro.core import detect_deadlock, naive_profile, paper_safe_profile
+from repro.core.safety import SafetyProfile
+from repro.nic.nic import NicWatchdogConfig
+from repro.rdma import QpConfig, connect_qp_pair
+from repro.sim import SeededRng
+from repro.sim.units import KB, MB, MS, US
+from repro.switch.watchdog import SwitchWatchdogConfig
+from repro.topo import deadlock_quad
+from repro.workloads import ClosedLoopSender, RdmaChannel
+
+
+def hostile_day(profile, duration_ns=10 * MS, seed=61):
+    topo = deadlock_quad(
+        seed=seed,
+        buffer_config=profile.buffer_config(
+            alpha=None, xoff_static_bytes=96 * KB, headroom_per_pg_bytes=40 * KB
+        ),
+        forwarding_kwargs=profile.forwarding_kwargs(),
+    ).boot()
+    sim = topo.sim
+    hosts = topo.hosts
+    switches = [topo.t0, topo.t1, topo.la, topo.lb]
+    # Arm runtime protections per profile (compressed timescales).
+    for host in hosts.values():
+        host.nic.config.watchdog_config = NicWatchdogConfig(
+            stall_threshold_ns=1 * MS,
+            poll_interval_ns=200 * US,
+            enabled=profile.nic_watchdog_enabled,
+        )
+        if profile.nic_watchdog_enabled:
+            host.nic._watchdog.start(200 * US)
+        else:
+            host.nic._watchdog.cancel()
+    if profile.switch_watchdog_enabled:
+        for switch in (topo.t0, topo.t1):
+            switch.enable_storm_watchdog(
+                SwitchWatchdogConfig(poll_interval_ns=200 * US, reenable_after_ns=2 * MS)
+            )
+    rng = SeededRng(seed, "hostile-%s" % profile.name)
+
+    # Fault 1: FCS-style random corruption on the healthy path.
+    s1_link = hosts["S1"].port.link
+    s1_link.loss_rate = 0.002
+    s1_link._loss_rng = rng.child("loss")
+    # Fault 2: S3 is dead, MAC expired, ARP alive.
+    hosts["S3"].die()
+    topo.t1.tables.mac_table.expire(hosts["S3"].mac)
+    # Fault 3: S2's NIC storms.
+    hosts["S2"].nic.break_rx_pipeline()
+
+    def saturate(src, dst):
+        config = QpConfig(
+            recovery=profile.recovery(), window_packets=1024, rto_ns=300 * US
+        )
+        peer = QpConfig(recovery=profile.recovery())
+        qp, _ = connect_qp_pair(hosts[src], hosts[dst], rng, config_a=config, config_b=peer)
+        return ClosedLoopSender(RdmaChannel(qp), 1 * MB).start()
+
+    saturate("S1", "S3")  # flood fodder
+    saturate("S6", "S3")
+    healthy = saturate("S1", "S5")  # the flow that must survive
+    saturate("S7", "S5")
+    saturate("S4", "S2")  # into the storming NIC
+
+    sim.run(until=sim.now + duration_ns)
+    return {
+        "healthy_messages": healthy.completed_messages,
+        "deadlocked": detect_deadlock(switches).deadlocked,
+        "storm_pauses": hosts["S2"].nic.stats.pause_generated,
+        "nic_watchdog_trips": hosts["S2"].nic.watchdog_trips,
+    }
+
+
+class TestHostileDay:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return {
+            "naive": hostile_day(naive_profile()),
+            "safe": hostile_day(paper_safe_profile()),
+        }
+
+    def test_naive_profile_suffers(self, outcomes):
+        naive = outcomes["naive"]
+        # Go-back-0 under corruption + a jammed fabric: little or no
+        # application progress.
+        assert naive["healthy_messages"] <= 1
+        assert naive["nic_watchdog_trips"] == 0
+
+    def test_safe_profile_survives(self, outcomes):
+        safe = outcomes["safe"]
+        assert not safe["deadlocked"]
+        assert safe["healthy_messages"] >= 3
+        assert safe["nic_watchdog_trips"] >= 1
+
+    def test_safe_beats_naive(self, outcomes):
+        assert (
+            outcomes["safe"]["healthy_messages"]
+            > outcomes["naive"]["healthy_messages"]
+        )

@@ -1,0 +1,189 @@
+"""Unit tests for forwarding tables, ARP/MAC aging, ECMP and ECN."""
+
+import pytest
+
+from repro.packets.ip import ip_from_str
+from repro.sim import SeededRng, Simulator
+from repro.sim.units import KB, SEC
+from repro.switch.ecmp import ecmp_hash, ecmp_select
+from repro.switch.ecn import EcnConfig
+from repro.switch.forwarding import (
+    ARP_TIMEOUT_NS,
+    MAC_TIMEOUT_NS,
+    AgingTable,
+    ForwardDecision,
+    ForwardingTables,
+)
+
+
+class TestAgingTable:
+    def test_lookup_before_expiry(self):
+        sim = Simulator()
+        table = AgingTable(sim, timeout_ns=1000, name="t")
+        table.learn("k", 42)
+        assert table.lookup("k") == 42
+
+    def test_expires_after_timeout(self):
+        sim = Simulator()
+        table = AgingTable(sim, timeout_ns=1000, name="t")
+        table.learn("k", 42)
+        sim.run(until=1000)
+        assert table.lookup("k") is None
+
+    def test_refresh_extends_lifetime(self):
+        sim = Simulator()
+        table = AgingTable(sim, timeout_ns=1000, name="t")
+        table.learn("k", 42)
+        sim.run(until=900)
+        table.learn("k", 42)
+        sim.run(until=1500)
+        assert table.lookup("k") == 42
+
+    def test_admin_expire(self):
+        sim = Simulator()
+        table = AgingTable(sim, timeout_ns=10**12, name="t")
+        table.learn("k", 42)
+        table.expire("k")
+        assert table.lookup("k") is None
+
+    def test_paper_timeout_disparity(self):
+        # Section 4.2: ARP 4 hours, MAC 5 minutes -- a 48x gap.
+        assert ARP_TIMEOUT_NS == 4 * 3600 * SEC
+        assert MAC_TIMEOUT_NS == 5 * 60 * SEC
+        assert ARP_TIMEOUT_NS // MAC_TIMEOUT_NS == 48
+
+
+class TestForwardingDecisions:
+    def _tor(self, **kwargs):
+        sim = Simulator()
+        subnet = (ip_from_str("10.1.0.0"), 24)
+        tables = ForwardingTables(sim, local_subnet=subnet, **kwargs)
+        return sim, tables
+
+    def test_l3_route_longest_prefix_wins(self):
+        sim, tables = self._tor()
+        tables.add_route(ip_from_str("10.0.0.0"), 8, [1])
+        tables.add_route(ip_from_str("10.2.0.0"), 16, [2])
+        decision = tables.decide(ip_from_str("10.2.3.4"), lossless=True)
+        assert decision.action == ForwardDecision.FORWARD
+        assert decision.ports == [2]
+
+    def test_no_route_drops(self):
+        sim, tables = self._tor()
+        decision = tables.decide(ip_from_str("192.168.0.1"), lossless=True)
+        assert decision.action == ForwardDecision.DROP
+        assert tables.no_route_drops == 1
+
+    def test_local_delivery_needs_arp_and_mac(self):
+        sim, tables = self._tor()
+        ip = ip_from_str("10.1.0.5")
+        tables.learn_arp(ip, 0xAA)
+        tables.learn_mac(0xAA, 7)
+        decision = tables.decide(ip, lossless=True)
+        assert decision.action == ForwardDecision.FORWARD
+        assert decision.ports == [7]
+
+    def test_arp_miss_drops(self):
+        sim, tables = self._tor()
+        decision = tables.decide(ip_from_str("10.1.0.9"), lossless=True)
+        assert decision.action == ForwardDecision.DROP
+        assert decision.reason == "arp-miss"
+
+    def test_incomplete_arp_floods(self):
+        # The deadlock root cause: ARP alive, MAC expired -> flood.
+        sim, tables = self._tor()
+        ip = ip_from_str("10.1.0.5")
+        tables.learn_arp(ip, 0xAA)
+        tables.learn_mac(0xAA, 7)
+        tables.mac_table.expire(0xAA)
+        decision = tables.decide(ip, lossless=True)
+        assert decision.action == ForwardDecision.FLOOD
+        assert tables.floods == 1
+
+    def test_incomplete_arp_drop_policy_for_lossless(self):
+        # The paper's fix (option 3): drop lossless packets instead.
+        sim, tables = self._tor(drop_lossless_on_incomplete_arp=True)
+        ip = ip_from_str("10.1.0.5")
+        tables.learn_arp(ip, 0xAA)
+        decision = tables.decide(ip, lossless=True)
+        assert decision.action == ForwardDecision.DROP
+        assert decision.reason == "incomplete-arp-lossless"
+        assert tables.incomplete_arp_drops == 1
+
+    def test_incomplete_arp_drop_policy_spares_lossy(self):
+        sim, tables = self._tor(drop_lossless_on_incomplete_arp=True)
+        ip = ip_from_str("10.1.0.5")
+        tables.learn_arp(ip, 0xAA)
+        decision = tables.decide(ip, lossless=False)
+        assert decision.action == ForwardDecision.FLOOD
+
+    def test_mac_timeout_recreates_flooding_over_time(self):
+        sim, tables = self._tor()
+        ip = ip_from_str("10.1.0.5")
+        tables.learn_arp(ip, 0xAA)
+        tables.learn_mac(0xAA, 7)
+        # After 5 minutes of silence the MAC entry is gone; ARP survives.
+        sim.run(until=MAC_TIMEOUT_NS)
+        decision = tables.decide(ip, lossless=True)
+        assert decision.action == ForwardDecision.FLOOD
+
+
+class TestEcmp:
+    def test_deterministic(self):
+        tup = (1, 2, 17, 1000, 4791)
+        assert ecmp_hash(tup) == ecmp_hash(tup)
+        assert ecmp_select(tup, 16) == ecmp_select(tup, 16)
+
+    def test_different_source_ports_spread(self):
+        # RoCEv2's whole reason for UDP: per-QP source ports spread flows.
+        choices = {
+            ecmp_select((1, 2, 17, sport, 4791), 16) for sport in range(49152, 49352)
+        }
+        assert len(choices) >= 12
+
+    def test_seed_decorrelates_switches(self):
+        tuples = [(1, 2, 17, sport, 4791) for sport in range(49152, 49252)]
+        same = sum(
+            1
+            for t in tuples
+            if ecmp_select(t, 16, seed=1) == ecmp_select(t, 16, seed=2)
+        )
+        assert same < 30  # mostly different decisions
+
+    def test_single_choice_shortcut(self):
+        assert ecmp_select((1, 2, 17, 5, 5), 1) == 0
+
+    def test_no_choices_rejected(self):
+        with pytest.raises(ValueError):
+            ecmp_select((1, 2, 17, 5, 5), 0)
+
+
+class TestEcn:
+    def test_no_marking_below_kmin(self):
+        config = EcnConfig(kmin_bytes=40 * KB, kmax_bytes=160 * KB, pmax=0.1)
+        assert config.mark_probability(10 * KB) == 0.0
+
+    def test_always_mark_above_kmax(self):
+        config = EcnConfig(kmin_bytes=40 * KB, kmax_bytes=160 * KB, pmax=0.1)
+        assert config.mark_probability(200 * KB) == 1.0
+
+    def test_linear_ramp_between(self):
+        config = EcnConfig(kmin_bytes=40 * KB, kmax_bytes=160 * KB, pmax=0.1)
+        mid = config.mark_probability(100 * KB)
+        assert mid == pytest.approx(0.05, rel=0.01)
+
+    def test_should_mark_uses_rng(self):
+        config = EcnConfig(kmin_bytes=0, kmax_bytes=100, pmax=1.0)
+        rng = SeededRng(1, "ecn")
+        assert config.should_mark(200, rng)
+        assert not config.should_mark(0, rng)
+
+    def test_disabled_never_marks(self):
+        config = EcnConfig(enabled=False)
+        assert config.mark_probability(10**9) == 0.0
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            EcnConfig(kmin_bytes=10, kmax_bytes=5)
+        with pytest.raises(ValueError):
+            EcnConfig(pmax=1.5)

@@ -1,0 +1,171 @@
+"""Tests for the TCP baseline: reliability, congestion response, kernel
+and CPU models."""
+
+import pytest
+
+from repro.sim import SeededRng, Simulator
+from repro.sim.units import KB, MB, MS, US, gbps
+from repro.tcp import CpuModel, KernelModel, TcpConfig, connect_tcp_pair
+from repro.topo import single_switch
+
+
+@pytest.fixture
+def topo():
+    return single_switch(n_hosts=3).boot()
+
+
+def make_pair(topo, i=0, j=1, **kwargs):
+    rng = SeededRng(5, "tcp-test")
+    return connect_tcp_pair(topo.hosts[i], topo.hosts[j], rng, **kwargs)
+
+
+class TestKernelModel:
+    def test_latency_positive_and_heavy_tailed(self):
+        rng = SeededRng(1, "kern")
+        kernel = KernelModel(rng, spike_probability=0.01)
+        samples = [kernel.sample_ns() for _ in range(20000)]
+        assert min(samples) > 0
+        median = sorted(samples)[len(samples) // 2]
+        assert 5 * US < median < 50 * US
+        assert max(samples) > 1 * MS  # spikes exist
+
+    def test_no_spikes_when_disabled(self):
+        rng = SeededRng(1, "kern")
+        kernel = KernelModel(rng, spike_probability=0.0)
+        samples = [kernel.sample_ns() for _ in range(5000)]
+        assert max(samples) < 1 * MS
+
+
+class TestCpuModel:
+    def test_paper_send_receive_numbers(self):
+        # Section 1: 40 Gb/s, 8 connections, 32-core E5-2690: 6% to send,
+        # 12% to receive.
+        cpu = CpuModel()
+        assert cpu.send_cpu_fraction(gbps(40)) == pytest.approx(0.06, rel=0.05)
+        assert cpu.recv_cpu_fraction(gbps(40)) == pytest.approx(0.12, rel=0.05)
+
+    def test_scales_linearly_with_rate(self):
+        cpu = CpuModel()
+        assert cpu.send_cpu_fraction(gbps(20)) == pytest.approx(
+            cpu.send_cpu_fraction(gbps(40)) / 2, rel=0.01
+        )
+
+    def test_rdma_is_free(self):
+        assert CpuModel.rdma_cpu_fraction(gbps(40)) == 0.0
+
+
+class TestTcpTransfer:
+    def test_message_delivered(self, topo):
+        conn_a, conn_b = make_pair(topo)
+        latencies = []
+        conn_a.send_message(64 * KB, on_delivered=latencies.append)
+        topo.sim.run(until=topo.sim.now + 50 * MS)
+        assert len(latencies) == 1
+        assert latencies[0] > 0
+
+    def test_large_transfer_completes(self, topo):
+        conn_a, conn_b = make_pair(topo)
+        done = []
+        conn_a.send_message(4 * MB, on_delivered=done.append)
+        topo.sim.run(until=topo.sim.now + 200 * MS)
+        assert done
+        assert conn_b.stats.messages_delivered == 1
+
+    def test_multiple_messages_in_order(self, topo):
+        conn_a, conn_b = make_pair(topo)
+        order = []
+        for i in range(4):
+            conn_a.send_message(32 * KB, on_delivered=lambda lat, i=i: order.append(i))
+        topo.sim.run(until=topo.sim.now + 100 * MS)
+        assert order == [0, 1, 2, 3]
+
+    def test_bidirectional(self, topo):
+        conn_a, conn_b = make_pair(topo)
+        got = []
+        conn_a.send_message(100 * KB, on_delivered=lambda lat: got.append("a"))
+        conn_b.send_message(100 * KB, on_delivered=lambda lat: got.append("b"))
+        topo.sim.run(until=topo.sim.now + 100 * MS)
+        assert sorted(got) == ["a", "b"]
+
+    def test_latency_includes_kernel_crossings(self, topo):
+        # A one-MSS message's latency is dominated by two kernel
+        # traversals (~tens of us), far above the ~1 us of wire time.
+        conn_a, conn_b = make_pair(topo)
+        latencies = []
+        conn_a.send_message(1000, on_delivered=latencies.append)
+        topo.sim.run(until=topo.sim.now + 50 * MS)
+        assert latencies[0] > 10 * US
+
+
+class TestTcpLossRecovery:
+    def _lossy(self, topo, rate):
+        link = topo.fabric.links[0]
+        link.loss_rate = rate
+        link._loss_rng = SeededRng(11, "tcploss")
+
+    def test_fast_retransmit_recovers(self, topo):
+        self._lossy(topo, 0.01)
+        conn_a, conn_b = make_pair(topo)
+        done = []
+        conn_a.send_message(2 * MB, on_delivered=done.append)
+        topo.sim.run(until=topo.sim.now + 500 * MS)
+        assert done
+        assert conn_a.stats.retransmits > 0
+
+    def test_rto_fires_on_total_blackout(self, topo):
+        conn_a, conn_b = make_pair(topo)
+        done = []
+        conn_a.send_message(64 * KB, on_delivered=done.append)
+        link = topo.fabric.links[0]
+        link.set_down()
+        topo.sim.run(until=topo.sim.now + 100 * MS)
+        assert conn_a.stats.rtos >= 1
+        assert not done
+        link.set_up()
+        topo.sim.run(until=topo.sim.now + 500 * MS)
+        assert done
+
+    def test_cwnd_halves_on_fast_retransmit(self, topo):
+        self._lossy(topo, 0.02)
+        conn_a, conn_b = make_pair(topo)
+        conn_a.send_message(4 * MB)
+        topo.sim.run(until=topo.sim.now + 100 * MS)
+        assert conn_a.stats.fast_retransmits > 0
+
+    def test_drop_recovery_dominates_latency_tail(self, topo):
+        # The figure 6 mechanism: without drops latency is ~kernel-bound;
+        # with drops the tail inflates to RTO scale (>= 5 ms min RTO).
+        def run(loss):
+            t = single_switch(n_hosts=2).boot()
+            if loss:
+                # Drop a burst of consecutive segments so fast retransmit
+                # cannot always save the day.
+                state = {"n": 0}
+
+                def dropper(packet):
+                    if packet.is_tcp and packet.payload_bytes > 0:
+                        state["n"] += 1
+                        return state["n"] % 97 < 4
+                    return False
+
+                t.tor.ingress_drop_filter = dropper
+            conn_a, conn_b = make_pair(t)
+            latencies = []
+            done_count = [0]
+
+            def next_message(lat=None):
+                if lat is not None:
+                    latencies.append(lat)
+                if done_count[0] < 60:
+                    done_count[0] += 1
+                    conn_a.send_message(32 * KB, on_delivered=next_message)
+
+            next_message()
+            t.sim.run(until=t.sim.now + 2000 * MS)
+            return max(latencies) if latencies else None
+
+        clean = run(False)
+        lossy = run(True)
+        assert clean is not None and lossy is not None
+        assert lossy > clean
+        assert lossy >= 4 * MS  # RTO-scale pain

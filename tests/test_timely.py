@@ -1,0 +1,133 @@
+"""Tests for the TIMELY extension (RTT-gradient congestion control)."""
+
+import pytest
+
+from repro.rdma import connect_qp_pair
+from repro.sim import SeededRng
+from repro.sim.units import KB, MB, MS, US, gbps
+from repro.switch.buffer import BufferConfig
+from repro.timely import TimelyConfig, TimelyRp, enable_timely
+from repro.topo import single_switch
+from repro.workloads import ClosedLoopSender, RdmaChannel
+
+
+class TestControlLaw:
+    def make(self, **kwargs):
+        return TimelyRp(line_rate_bps=gbps(40), config=TimelyConfig(**kwargs))
+
+    def test_starts_at_line_rate(self):
+        rp = self.make()
+        assert rp.rate_bps == gbps(40)
+
+    def test_low_rtt_stays_at_line_rate(self):
+        rp = self.make(t_low_ns=20 * US)
+        for _ in range(50):
+            rp.on_rtt_sample(5 * US)
+        assert rp.rate_bps == gbps(40)
+
+    def test_high_rtt_cuts_multiplicatively(self):
+        rp = self.make(t_high_ns=100 * US)
+        rp.on_rtt_sample(50 * US)  # prime prev_rtt
+        rp.on_rtt_sample(500 * US)
+        assert rp.rate_bps < gbps(40)
+        assert rp.decreases >= 1
+
+    def test_rising_gradient_in_band_decreases(self):
+        rp = self.make(t_low_ns=10 * US, t_high_ns=1000 * US, min_rtt_ns=10 * US)
+        rate_before = None
+        for rtt in (50, 60, 70, 80, 90):
+            rp.on_rtt_sample(rtt * US)
+            rate_before = rp.rate_bps
+        assert rate_before < gbps(40)
+
+    def test_falling_gradient_recovers(self):
+        rp = self.make(t_low_ns=10 * US, t_high_ns=1000 * US, min_rtt_ns=10 * US)
+        for rtt in (50, 90, 130, 170):
+            rp.on_rtt_sample(rtt * US)
+        depressed = rp.rate_bps
+        for rtt in (160, 150, 140, 130, 120, 110, 100, 90, 80, 70):
+            rp.on_rtt_sample(rtt * US)
+        assert rp.rate_bps > depressed
+
+    def test_rate_floor_respected(self):
+        rp = self.make(min_rate_bps=40 * 10**6)
+        rp.on_rtt_sample(50 * US)
+        for _ in range(100):
+            rp.on_rtt_sample(10_000 * US)
+        assert rp.rate_bps >= 40 * 10**6
+
+    def test_hyper_increase_after_sustained_improvement(self):
+        config_kwargs = dict(t_low_ns=10 * US, t_high_ns=10_000 * US, min_rtt_ns=10 * US)
+        slow = self.make(**config_kwargs)
+        slow.rate = 1e9
+        for rtt in range(200, 50, -10):  # steadily falling RTT
+            slow.on_rtt_sample(rtt * US)
+        assert slow.rate > 1e9
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TimelyConfig(t_low_ns=100, t_high_ns=100)
+
+    def test_cnp_and_bytes_hooks_are_noops(self):
+        rp = self.make()
+        rp.on_cnp()
+        rp.on_bytes_sent(10**6)
+        assert rp.rate_bps == gbps(40)
+
+
+class TestClosedLoop:
+    def test_timely_throttles_incast(self):
+        topo = single_switch(
+            n_hosts=5,
+            seed=13,
+            buffer_config=BufferConfig(alpha=None, xoff_static_bytes=96 * KB),
+        ).boot()
+        rng = SeededRng(13, "timely")
+        victim = topo.hosts[0]
+        rps = []
+        for src in topo.hosts[1:]:
+            qp, _ = connect_qp_pair(src, victim, rng)
+            rps.append(enable_timely(qp))
+            ClosedLoopSender(RdmaChannel(qp), 256 * KB).start()
+        topo.sim.run(until=topo.sim.now + 10 * MS)
+        assert all(rp.samples > 10 for rp in rps)
+        # Four 40G senders into one 40G port: TIMELY must back off.
+        assert any(rp.rate_bps < gbps(20) for rp in rps)
+
+    def test_timely_reduces_pause_generation(self):
+        # The RTT band must target a queue *below* the XOFF point (here
+        # ~20 us of queueing), and small messages give the controller a
+        # dense probe stream -- then TIMELY holds queues short and the
+        # switch barely pauses (the paper's section 2 rationale, with
+        # TIMELY in DCQCN's role).
+        config = TimelyConfig(t_low_ns=8 * US, t_high_ns=25 * US)
+
+        def run(with_timely):
+            topo = single_switch(
+                n_hosts=5,
+                seed=13,
+                buffer_config=BufferConfig(alpha=None, xoff_static_bytes=32 * KB),
+            ).boot()
+            rng = SeededRng(13, "timely-b")
+            victim = topo.hosts[0]
+            for src in topo.hosts[1:]:
+                qp, _ = connect_qp_pair(src, victim, rng)
+                if with_timely:
+                    enable_timely(qp, config)
+                ClosedLoopSender(RdmaChannel(qp), 32 * KB).start()
+            topo.sim.run(until=topo.sim.now + 10 * MS)
+            return topo.tor.pause_frames_sent()
+
+        with_cc = run(True)
+        without_cc = run(False)
+        assert with_cc < without_cc / 2
+
+    def test_mutually_exclusive_with_dcqcn(self):
+        from repro.dcqcn import enable_dcqcn
+
+        topo = single_switch(n_hosts=2).boot()
+        rng = SeededRng(1, "excl")
+        qp, _ = connect_qp_pair(topo.hosts[0], topo.hosts[1], rng)
+        enable_dcqcn(qp)
+        with pytest.raises(RuntimeError):
+            enable_timely(qp)

@@ -1,0 +1,83 @@
+"""Unit tests for unit helpers."""
+
+import pytest
+
+from repro.sim.units import (
+    GBPS,
+    KB,
+    MB,
+    MS,
+    SEC,
+    US,
+    bits_to_bytes,
+    bytes_to_bits,
+    fmt_rate,
+    fmt_time,
+    gbps,
+    propagation_delay_ns,
+    serialization_delay_ns,
+)
+
+
+def test_time_constants():
+    assert US == 1_000
+    assert MS == 1_000_000
+    assert SEC == 1_000_000_000
+
+
+def test_size_constants():
+    assert KB == 1024
+    assert MB == 1024 * 1024
+
+
+def test_gbps():
+    assert gbps(40) == 40 * GBPS
+    assert gbps(0.5) == 500_000_000
+
+
+def test_bit_byte_conversions():
+    assert bytes_to_bits(10) == 80
+    assert bits_to_bytes(80) == 10
+    assert bits_to_bytes(81) == 11  # rounds up
+
+
+def test_serialization_delay_paper_frame():
+    # The paper's RoCEv2 frame is 1086 bytes; at 40 Gb/s that is
+    # 8688 bits / 40 bits-per-ns = 217.2 ns -> ceil -> 218 ns.
+    assert serialization_delay_ns(1086, gbps(40)) == 218
+
+
+def test_serialization_delay_rounds_up():
+    # 1 byte at 1 Gb/s = exactly 8 ns: no rounding.
+    assert serialization_delay_ns(1, gbps(1)) == 8
+    # 1 byte at 3 Gb/s = 2.67 ns -> 3 ns.
+    assert serialization_delay_ns(1, gbps(3)) == 3
+
+
+def test_serialization_delay_rejects_zero_rate():
+    with pytest.raises(ValueError):
+        serialization_delay_ns(100, 0)
+
+
+def test_propagation_delay_paper_distances():
+    # Section 2: servers ~2 m from ToR, Leaf-Spine up to 300 m.
+    assert propagation_delay_ns(2) == 10
+    assert propagation_delay_ns(300) == 1500
+
+
+def test_propagation_delay_rejects_negative():
+    with pytest.raises(ValueError):
+        propagation_delay_ns(-1)
+
+
+def test_fmt_time():
+    assert fmt_time(500) == "500ns"
+    assert fmt_time(1500) == "1.500us"
+    assert fmt_time(2 * MS) == "2.000ms"
+    assert fmt_time(3 * SEC) == "3.000s"
+
+
+def test_fmt_rate():
+    assert fmt_rate(gbps(40)) == "40.00Gb/s"
+    assert fmt_rate(350 * 1_000_000) == "350.00Mb/s"
+    assert fmt_rate(999) == "999b/s"
