@@ -20,6 +20,7 @@ Run:  python examples/deadlock_detection.py
 
 from repro.core import detect_deadlock
 from repro.core.deadlock import is_statically_deadlock_free
+from repro.faults import install_default_auditors
 from repro.rdma import QpConfig, connect_qp_pair
 from repro.sim import SeededRng
 from repro.sim.units import KB, MB, MS, US
@@ -72,19 +73,26 @@ def main():
     )
 
     rng = SeededRng(11, "demo")
+    # The invariant auditors are a third, independent witness: a wedged
+    # pause loop trips the pause-liveness and queue-age invariants.
+    audit = install_default_auditors(topo.fabric).start()
     drive_figure4_traffic(topo, rng)
     topo.sim.run(until=topo.sim.now + 8 * MS)
     report = detect_deadlock(switches)
     print("\nRuntime after 8 ms of figure-4 traffic:")
     print("  deadlocked : %s" % report.deadlocked)
     print("  cycle over : %s" % ", ".join(report.involved_switches()))
+    print("  auditors   : %s" % audit.summary())
+    audit.stop()  # the every-server-dies phase wedges queues by design
     for host in topo.hosts.values():
         host.die()  # "restart all the servers"
     topo.sim.run(until=topo.sim.now + 8 * MS)
     print("  after stopping every server: still deadlocked = %s"
           % detect_deadlock(switches).deadlocked)
+    assert not audit.clean, "a deadlock must trip the pause-liveness auditors"
 
     fixed = build(fixed=True)
+    fixed_audit = install_default_auditors(fixed.fabric).start()
     drive_figure4_traffic(fixed, SeededRng(11, "demo2"))
     fixed.sim.run(until=fixed.sim.now + 8 * MS)
     fixed_switches = [fixed.t0, fixed.t1, fixed.la, fixed.lb]
@@ -92,6 +100,8 @@ def main():
     print("\nWith drop_lossless_on_incomplete_arp (the paper's fix):")
     print("  deadlocked : %s" % detect_deadlock(fixed_switches).deadlocked)
     print("  lossless packets dropped instead of flooded: %d" % dropped)
+    print("  auditors   : %s" % fixed_audit.summary())
+    assert fixed_audit.clean, fixed_audit.summary()
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ Run:  python examples/fabric_operations.py
 """
 
 from repro.core import DscpPfcDesign, paper_safe_profile
+from repro.faults import install_default_auditors
 from repro.monitoring import ConfigMonitor, CounterCollector, DesiredConfig, Pingmesh
 from repro.rdma import connect_qp_pair
 from repro.sim import SeededRng
@@ -38,6 +39,9 @@ def main():
     profile.apply_to_topology(topo)
     sim, fabric = topo.sim, topo.fabric
     rng = SeededRng(9, "ops")
+    # A healthy operated fabric holds every runtime invariant; strict
+    # mode turns any regression into an immediate failure.
+    audit = install_default_auditors(fabric, mode="raise").start()
 
     desired = DesiredConfig.from_design(design, buffer_alpha=profile.buffer_alpha)
     monitor = ConfigMonitor(desired)
@@ -79,6 +83,8 @@ def main():
     print("     %-8s cumulative paused interval: %.1f us"
           % (host.name, host.nic.port.paused_interval_ns() / US))
     print("     fabric-wide drops: %d (lossless holding)" % fabric.total_drops())
+    print("5. Runtime invariants: %s" % audit.summary())
+    assert audit.clean, audit.summary()
 
 
 if __name__ == "__main__":

@@ -11,6 +11,7 @@ application progress.
 Run:  python examples/livelock_demo.py
 """
 
+from repro.faults import install_default_auditors
 from repro.rdma import GoBack0, GoBackN, QpConfig, connect_qp_pair, post_send
 from repro.sim import SeededRng
 from repro.sim.units import MB, MS, US
@@ -23,6 +24,9 @@ def run(recovery):
     topo.tor.ingress_drop_filter = (
         lambda p: p.ip is not None and p.ip.identification & 0xFF == 0xFF
     )
+    # A livelock wastes the link but breaks no invariant: buffers still
+    # balance and go-back-0's deliberate PSN rewinds are exempt.
+    audit = install_default_auditors(topo.fabric).start()
     rng = SeededRng(7, "livelock")
     config = QpConfig(recovery=recovery, rto_ns=200 * US)
     qp, _ = connect_qp_pair(
@@ -39,6 +43,8 @@ def run(recovery):
         "wire_packets": qp.stats.data_packets_sent,
         "naks": qp.stats.naks_received,
         "drops": topo.tor.counters.drops["filter"],
+        "audit": audit.summary(),
+        "audit_clean": audit.clean,
     }
 
 
@@ -48,7 +54,7 @@ def main():
         r = run(recovery)
         print(
             "  %-9s  goodput %6.2f Gb/s  messages %2d  wire packets %6d  "
-            "NAKs %3d  drops %3d"
+            "NAKs %3d  drops %3d  audit: %s"
             % (
                 r["recovery"],
                 r["goodput_gbps"],
@@ -56,8 +62,10 @@ def main():
                 r["wire_packets"],
                 r["naks"],
                 r["drops"],
+                r["audit"],
             )
         )
+        assert r["audit_clean"], r["audit"]
     print(
         "\nThe go-back-0 row is the livelock: the link is fully busy"
         "\n(tens of thousands of wire packets) yet not one message has"

@@ -8,6 +8,7 @@ goodput, zero packet loss (PFC), and microsecond latency.
 Run:  python examples/quickstart.py
 """
 
+from repro.faults import install_default_auditors
 from repro.monitoring import Pingmesh
 from repro.rdma import connect_qp_pair, post_read, post_send, post_write
 from repro.sim import SeededRng
@@ -21,6 +22,10 @@ def main():
     sim = topo.sim
     s0, s1 = topo.hosts
     rng = SeededRng(42, "quickstart")
+
+    # A healthy fabric must hold every runtime invariant, so the
+    # quickstart runs in strict mode: any violation raises immediately.
+    audit = install_default_auditors(topo.fabric, mode="raise").start()
 
     # 2. A reliable-connected queue pair between them.
     qp, _peer_qp = connect_qp_pair(s0, s1, rng)
@@ -51,8 +56,10 @@ def main():
         "  probe RTT p50/p99: %.1f / %.1f us"
         % (pingmesh.rtt_percentile_us(50), pingmesh.rtt_percentile_us(99))
     )
+    print("  invariant audit  : %s" % audit.summary())
     assert len(done) == 3, "all three verbs should have completed"
     assert topo.fabric.total_drops() == 0
+    assert audit.clean, audit.summary()
 
 
 if __name__ == "__main__":

@@ -13,6 +13,7 @@ running -- the exact bug behind the paper's production incident (figure
 Run:  python examples/storm_watchdogs.py
 """
 
+from repro.faults import install_default_auditors
 from repro.monitoring import CounterCollector, IncidentDetector
 from repro.nic.nic import NicConfig, NicWatchdogConfig
 from repro.sim import SeededRng
@@ -42,6 +43,10 @@ def run(watchdogs):
                     SwitchWatchdogConfig(poll_interval_ns=poll, reenable_after_ns=4 * MS)
                 )
     sim = topo.sim
+    # Pause-liveness bound above the watchdog reaction time: with
+    # watchdogs armed every pause must clear inside it; without them the
+    # storm trips the auditors -- the asymmetry the demo is about.
+    audit = install_default_auditors(topo.fabric, max_stall_ns=3 * MS).start()
     rng = SeededRng(5, "storm-demo")
     hosts = topo.hosts
     victim = hosts[0]
@@ -66,6 +71,8 @@ def run(watchdogs):
         "origin": detector.trace_origin(),
         "victims": len(detector.pause_storms()),
         "nic_tripped": victim.nic.watchdog_trips,
+        "audit": audit.summary(),
+        "audit_clean": audit.clean,
     }
 
 
@@ -77,6 +84,11 @@ def main():
         print("              incident detector traced origin -> %s "
               "(%d devices saw pause storms, NIC watchdog trips: %d)"
               % (r["origin"], r["victims"], r["nic_tripped"]))
+        print("              invariant auditors: %s" % r["audit"])
+        if watchdogs:
+            assert r["audit_clean"], r["audit"]
+        else:
+            assert not r["audit_clean"], "an unchecked storm must trip the auditors"
     print(
         "\nWithout watchdogs one broken NIC freezes every flow in the"
         "\nfabric; with the paper's two watchdogs only the victim's own"

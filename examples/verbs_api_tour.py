@@ -18,6 +18,7 @@ from repro.rdma import (
     post_send,
     post_write,
 )
+from repro.faults import install_default_auditors
 from repro.sim import SeededRng
 from repro.sim.units import KB, MB, MS
 from repro.topo import single_switch
@@ -28,6 +29,7 @@ def main():
     topo = single_switch(n_hosts=2, seed=77).boot()
     sim = topo.sim
     rng = SeededRng(77, "tour")
+    audit = install_default_auditors(topo.fabric, mode="raise").start()
     requester, responder = topo.hosts
 
     config = QpConfig(require_posted_receives=True)
@@ -63,6 +65,8 @@ def main():
     print("4. wire summary (packet tracer): %s" % tracer.counts_by_kind())
     opcodes = sorted({r.fields["opcode"] for r in tracer.select(kind="rocev2")})
     print("   opcodes seen: %s" % ", ".join(opcodes))
+    print("5. runtime invariants: %s" % audit.summary())
+    assert audit.clean, audit.summary()
 
 
 if __name__ == "__main__":

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Run every example under the runtime invariant auditors.
+
+Each script in ``examples/`` installs the auditors itself (strict mode
+for healthy scenarios; record mode with asserted expectations for the
+pathology demos, where e.g. a deadlock is *supposed* to trip the pause
+auditors and the fix is supposed to stay clean).  A demo whose audit
+expectation fails exits nonzero, so this smoke test reduces to: run
+them all, fail on the first bad exit code.
+
+Usage:  python scripts/audit_smoke.py [pattern ...]
+
+Optional patterns filter by substring ("storm" runs only
+storm_watchdogs.py).  Exit status is the number of failing examples.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES = os.path.join(REPO, "examples")
+SRC = os.path.join(REPO, "src")
+
+
+def main(argv):
+    patterns = argv[1:]
+    scripts = sorted(
+        name
+        for name in os.listdir(EXAMPLES)
+        if name.endswith(".py")
+        and (not patterns or any(p in name for p in patterns))
+    )
+    if not scripts:
+        print("no examples match %r" % (patterns,))
+        return 2
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    failures = []
+    for name in scripts:
+        path = os.path.join(EXAMPLES, name)
+        started = time.time()
+        proc = subprocess.run(
+            [sys.executable, path],
+            env=env,
+            cwd=REPO,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+        )
+        verdict = "ok" if proc.returncode == 0 else "FAIL (exit %d)" % proc.returncode
+        print("%-28s %-14s %5.1fs" % (name, verdict, time.time() - started))
+        if proc.returncode != 0:
+            failures.append(name)
+            sys.stdout.write(proc.stdout.decode("utf-8", "replace"))
+
+    print(
+        "\n%d/%d examples passed under audit" % (len(scripts) - len(failures), len(scripts))
+    )
+    return len(failures)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

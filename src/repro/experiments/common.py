@@ -54,6 +54,20 @@ def _fmt(value):
     return str(value)
 
 
+def run_under_audit(fabric, mode="record", **kwargs):
+    """Arm the runtime invariant auditors on ``fabric`` and start them.
+
+    Every scripted experiment runs under audit by default.  Pathology
+    experiments use record mode -- a deadlock *should* trip the pause
+    auditor -- and surface ``registry.violation_count`` as a row column,
+    so a scenario that breaks an invariant it should not is visible in
+    the results table, not just in a test.
+    """
+    from repro.faults import install_default_auditors
+
+    return install_default_auditors(fabric, mode=mode, **kwargs).start()
+
+
 def apply_ets_weights(fabric, weights, quantum_bytes=1600):
     """Install DWRR schedulers on every switch port.
 

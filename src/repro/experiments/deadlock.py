@@ -23,7 +23,7 @@ from repro.sim.units import KB, MB, MS, US
 from repro.switch.buffer import BufferConfig
 from repro.topo import deadlock_quad
 from repro.workloads import ClosedLoopSender, RdmaChannel
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, run_under_audit
 
 
 class DeadlockResult(ExperimentResult):
@@ -47,6 +47,11 @@ def _run_scenario(drop_on_incomplete_arp, duration_ns, seed):
         },
     ).boot()
     sim = topo.sim
+    # In record mode the auditors double as a deadlock detector: the
+    # flooding scenario trips pause-bounded/queue-age, the fixed one
+    # stays clean.  Stopped before the every-server-dies persistence
+    # phase, where wedged queues are the asserted outcome everywhere.
+    registry = run_under_audit(topo.fabric)
     rng = SeededRng(seed, "deadlock")
     hosts = topo.hosts
 
@@ -80,6 +85,8 @@ def _run_scenario(drop_on_incomplete_arp, duration_ns, seed):
     switches = [topo.t0, topo.t1, topo.la, topo.lb]
     report = detect_deadlock(switches)
     healthy_before_stop = healthy.completed_messages
+    invariant_violations = registry.violation_count
+    registry.stop()
 
     # "it does not go away even if we restart all the servers": silence
     # every sender and give the fabric ample time to drain.
@@ -99,6 +106,7 @@ def _run_scenario(drop_on_incomplete_arp, duration_ns, seed):
             s.tables.incomplete_arp_drops for s in switches
         ),
         "healthy_flow_messages": healthy_before_stop,
+        "invariant_violations": invariant_violations,
     }
 
 

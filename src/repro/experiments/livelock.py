@@ -16,7 +16,7 @@ from repro.sim import SeededRng
 from repro.sim.units import MB, MS, US
 from repro.topo import single_switch
 from repro.workloads import ClosedLoopSender, RdmaChannel
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, run_under_audit
 
 
 class LivelockResult(ExperimentResult):
@@ -30,6 +30,9 @@ def _drop_ip_id_ff(packet):
 def _run_one(operation, recovery, message_bytes, duration_ns, seed):
     topo = single_switch(n_hosts=2, seed=seed).boot()
     topo.tor.ingress_drop_filter = _drop_ip_id_ff
+    # Even a livelocked run must keep every invariant: buffers balance,
+    # pauses resolve, and the deliberate go-back-0 PSN rewinds are exempt.
+    registry = run_under_audit(topo.fabric)
     rng = SeededRng(seed, "livelock")
     config = QpConfig(recovery=recovery, rto_ns=200 * US)
     qp_a, qp_b = connect_qp_pair(
@@ -60,6 +63,7 @@ def _run_one(operation, recovery, message_bytes, duration_ns, seed):
         "messages_completed": counter.completed_messages,
         "link_utilization": min(1.0, wire_packets / line_rate_packets),
         "naks": qp_a.stats.naks_received + qp_b.stats.naks_received,
+        "invariant_violations": registry.violation_count,
     }
 
 

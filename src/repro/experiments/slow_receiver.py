@@ -18,7 +18,7 @@ from repro.sim import SeededRng
 from repro.sim.units import KB, MB, MS
 from repro.switch.buffer import BufferConfig
 from repro.topo import two_tier
-from repro.experiments.common import ExperimentResult, saturate_pairs
+from repro.experiments.common import ExperimentResult, run_under_audit, saturate_pairs
 
 
 class SlowReceiverResult(ExperimentResult):
@@ -45,6 +45,10 @@ def _run_one(page_bytes, dynamic_buffer, duration_ns, n_flows, seed):
         buffer_config=buffer_config,
     ).boot()
     sim = topo.sim
+    # The slow receiver pauses its ToR intermittently but legitimately:
+    # every pause must still resolve and every buffer must balance, in
+    # all four mitigation rows.
+    registry = run_under_audit(topo.fabric)
     rng = SeededRng(seed, "slowrx")
     sender_hosts = topo.hosts_by_tor[0]
     receiver = topo.hosts_by_tor[1][0]
@@ -77,6 +81,7 @@ def _run_one(page_bytes, dynamic_buffer, duration_ns, n_flows, seed):
         "nic_pauses_per_ms": receiver.nic.stats.pause_generated * MS / elapsed,
         "tor_pauses_to_leaf": _pause_tx_toward(tor_rx, leaf),
         "goodput_gbps": goodput,
+        "invariant_violations": registry.violation_count,
     }
 
 

@@ -19,7 +19,7 @@ from repro.switch.buffer import BufferConfig
 from repro.switch.watchdog import SwitchWatchdogConfig
 from repro.sim.units import KB
 from repro.topo import three_tier_clos
-from repro.experiments.common import ExperimentResult, saturate_pairs
+from repro.experiments.common import ExperimentResult, run_under_audit, saturate_pairs
 
 
 class StormResult(ExperimentResult):
@@ -68,6 +68,11 @@ def _run_scenario(watchdogs, seed):
     switch_reenable_ns = 4 * MS
     topo = _build(watchdogs, seed, nic_watchdog_ns, switch_reenable_ns, poll_ns)
     sim = topo.sim
+    # Pause liveness bound sits above the watchdog reaction time: with
+    # watchdogs on, every pause must resolve inside it (zero violations);
+    # with them off the storm trips the auditors -- that asymmetry is the
+    # row's point.
+    registry = run_under_audit(topo.fabric, max_stall_ns=3 * MS)
     rng = SeededRng(seed, "storm")
     hosts = topo.hosts
     # hosts order: P0T0-S0, P0T0-S1, P0T1-S0, P0T1-S1, then podset 1.
@@ -111,6 +116,7 @@ def _run_scenario(watchdogs, seed):
             for podset in topo.podsets
             for tor in podset["tors"]
         ),
+        "invariant_violations": registry.violation_count,
     }
 
 

@@ -1,0 +1,326 @@
+"""Declarative fault schedules and the scenario harness.
+
+A :class:`FaultPlan` is data, not code: a list of "at t, do X to Y"
+entries plus standing per-packet rules, referring to targets by *name*
+(host/switch names, or ``(device, device)`` link endpoint pairs).  The
+same plan can therefore be applied to freshly built fabrics over and
+over -- which is what makes fault-injected runs fingerprintable: same
+seed + same plan => bit-identical counters.
+
+:class:`FaultScenario` closes the loop for tests: build a topology,
+arm the auditors, apply a plan, drive traffic, and check declared
+expectations ("invariant Y holds", "watchdog Z fires") at the end::
+
+    scenario = FaultScenario(
+        build=lambda: single_switch(n_hosts=2, seed=7).boot(),
+        plan=FaultPlan("storm", seed=7).freeze_nic_rx("S1", at_ns=1 * MS),
+        drive=start_traffic,
+        duration_ns=8 * MS,
+        expectations=[expect_invariant_violated("pause-bounded")],
+    )
+    scenario.run().check()
+"""
+
+from repro.faults.injector import FaultInjector, MATCHERS
+from repro.faults.invariants import install_default_auditors
+from repro.sim.rng import SeededRng
+from repro.sim.units import MS, US, fmt_time
+
+
+class _PlanAction:
+    """One scheduled or standing injector call."""
+
+    __slots__ = ("at_ns", "method", "target", "kwargs")
+
+    def __init__(self, at_ns, method, target, kwargs):
+        self.at_ns = at_ns  # None: apply immediately (standing rule)
+        self.method = method
+        self.target = target
+        self.kwargs = kwargs
+
+    def __repr__(self):
+        when = "t=%s" % fmt_time(self.at_ns) if self.at_ns is not None else "standing"
+        return "%s(%r%s) [%s]" % (
+            self.method,
+            self.target,
+            "".join(", %s=%r" % kv for kv in sorted(self.kwargs.items())),
+            when,
+        )
+
+
+class FaultPlan:
+    """A named, seeded, declarative fault schedule.
+
+    All methods return ``self`` so plans chain; ``at_ns=None`` means
+    "from the start".  Targets are names (resolved against the fabric at
+    apply time), so a plan is reusable across rebuilt topologies.
+    """
+
+    def __init__(self, name="plan", seed=0):
+        self.name = name
+        self.seed = seed
+        self._actions = []
+
+    def add(self, method, target, at_ns=None, **kwargs):
+        """Schedule any :class:`FaultInjector` method by name."""
+        if not hasattr(FaultInjector, method):
+            raise ValueError("FaultInjector has no action %r" % (method,))
+        self._actions.append(_PlanAction(at_ns, method, target, kwargs))
+        return self
+
+    # -- sugar ----------------------------------------------------------------
+
+    def link_down(self, target, at_ns):
+        return self.add("link_down", target, at_ns=at_ns)
+
+    def link_up(self, target, at_ns):
+        return self.add("link_up", target, at_ns=at_ns)
+
+    def flap_link(self, target, at_ns, down_ns=100 * US):
+        return self.add("flap_link", target, at_ns=at_ns, down_ns=down_ns)
+
+    def drop(self, target, probability=1.0, match="any", count=None, at_ns=None):
+        return self.add(
+            "drop_packets", target, at_ns=at_ns,
+            probability=probability, match=match, count=count,
+        )
+
+    def corrupt(self, target, probability=1.0, match="any", count=None, at_ns=None):
+        return self.add(
+            "corrupt_packets", target, at_ns=at_ns,
+            probability=probability, match=match, count=count,
+        )
+
+    def reorder(self, target, delay_ns, probability=1.0, match="data", at_ns=None):
+        return self.add(
+            "reorder_packets", target, at_ns=at_ns,
+            delay_ns=delay_ns, probability=probability, match=match,
+        )
+
+    def blackhole_arp(self, target, at_ns=None):
+        return self.add("blackhole_arp", target, at_ns=at_ns)
+
+    def freeze_nic_rx(self, target, at_ns):
+        return self.add("freeze_nic_rx", target, at_ns=at_ns)
+
+    def repair_nic(self, target, at_ns):
+        return self.add("repair_nic", target, at_ns=at_ns)
+
+    def kill_host(self, target, at_ns):
+        return self.add("kill_host", target, at_ns=at_ns)
+
+    def degrade_mtt(self, target, at_ns, entries=64, page_bytes=4096, miss_penalty_ns=3000):
+        return self.add(
+            "degrade_mtt", target, at_ns=at_ns,
+            entries=entries, page_bytes=page_bytes, miss_penalty_ns=miss_penalty_ns,
+        )
+
+    def expire_mac(self, target, at_ns):
+        return self.add("expire_mac", target, at_ns=at_ns)
+
+    def drift_dscp_map(self, target, dscp_to_priority, at_ns):
+        return self.add(
+            "drift_dscp_map", target, at_ns=at_ns,
+            dscp_to_priority=dict(dscp_to_priority),
+        )
+
+    def drift_buffer_alpha(self, target, alpha, at_ns):
+        return self.add("drift_buffer_alpha", target, at_ns=at_ns, alpha=alpha)
+
+    # -- application ------------------------------------------------------------
+
+    def apply(self, fabric):
+        """Arm this plan on a fabric; returns the :class:`FaultInjector`.
+
+        Standing rules install immediately; timed actions are scheduled
+        at their absolute times (which must not be in the past).
+        """
+        injector = FaultInjector(
+            fabric, rng=SeededRng(self.seed, "faultplan/%s" % self.name), name=self.name
+        )
+        for action in self._actions:
+            method = getattr(injector, action.method)
+            if action.at_ns is None:
+                method(action.target, **action.kwargs)
+            else:
+                fabric.sim.at(
+                    action.at_ns, self._fire, method, action.target, action.kwargs
+                )
+        return injector
+
+    @staticmethod
+    def _fire(method, target, kwargs):
+        method(target, **kwargs)
+
+    def actions(self):
+        return list(self._actions)
+
+    def __len__(self):
+        return len(self._actions)
+
+    def __repr__(self):
+        return "FaultPlan(%s, seed=%d, %d actions)" % (
+            self.name, self.seed, len(self._actions),
+        )
+
+
+# -- expectations ----------------------------------------------------------------
+
+
+class Expectation:
+    """One declared post-condition of a fault scenario."""
+
+    def __init__(self, description, check):
+        self.description = description
+        self._check = check  # fn(outcome) -> True when satisfied
+
+    def satisfied(self, outcome):
+        return self._check(outcome)
+
+    def __repr__(self):
+        return "Expectation(%s)" % self.description
+
+
+def expect_invariant_holds(invariant=None):
+    """No violation of ``invariant`` (or of anything, when None)."""
+    if invariant is None:
+        return Expectation(
+            "all invariants hold", lambda outcome: outcome.registry.clean
+        )
+    return Expectation(
+        "invariant %r holds" % invariant,
+        lambda outcome: not outcome.registry.violations_for(invariant),
+    )
+
+
+def expect_invariant_violated(invariant, min_count=1):
+    return Expectation(
+        "invariant %r violated" % invariant,
+        lambda outcome: len(outcome.registry.violations_for(invariant)) >= min_count,
+    )
+
+
+def expect_nic_watchdog(min_trips=1):
+    return Expectation(
+        "NIC watchdog fires",
+        lambda outcome: sum(
+            h.nic.watchdog_trips for h in outcome.fabric.hosts
+        ) >= min_trips,
+    )
+
+
+def expect_switch_watchdog(min_trips=1):
+    return Expectation(
+        "switch watchdog fires",
+        lambda outcome: sum(
+            s.watchdog_trips() for s in outcome.fabric.switches
+        ) >= min_trips,
+    )
+
+
+def expect_that(description, predicate):
+    """Arbitrary predicate over the :class:`ScenarioOutcome`."""
+    return Expectation(description, predicate)
+
+
+class ScenarioOutcome:
+    """Everything a finished scenario run exposes for assertions."""
+
+    def __init__(self, topo, fabric, registry, injector, failures):
+        self.topo = topo
+        self.fabric = fabric
+        self.registry = registry
+        self.injector = injector
+        self.failures = failures
+
+    @property
+    def ok(self):
+        return not self.failures
+
+    def check(self):
+        """Raise AssertionError listing every unmet expectation."""
+        if self.failures:
+            raise AssertionError(
+                "%d unmet expectation(s):\n%s\n(%s)"
+                % (
+                    len(self.failures),
+                    "\n".join("  - %s" % f for f in self.failures),
+                    self.registry.summary(),
+                )
+            )
+        return self
+
+
+class FaultScenario:
+    """Build -> audit -> inject -> drive -> check, declaratively.
+
+    ``build``
+        Zero-arg callable returning a booted topology (anything with a
+        ``.fabric``, or a :class:`Fabric` itself).
+    ``plan``
+        The :class:`FaultPlan` to arm (optional: audit-only scenarios).
+    ``drive``
+        Optional callable ``drive(topo)`` starting traffic.
+    ``expectations``
+        Iterable of :class:`Expectation`; evaluated after the run.
+    """
+
+    def __init__(
+        self,
+        build,
+        plan=None,
+        drive=None,
+        duration_ns=10 * MS,
+        expectations=(),
+        audit_interval_ns=100 * US,
+        audit_mode="record",
+        max_stall_ns=2 * MS,
+        max_age_ns=5 * MS,
+    ):
+        self.build = build
+        self.plan = plan
+        self.drive = drive
+        self.duration_ns = duration_ns
+        self.expectations = list(expectations)
+        self.audit_interval_ns = audit_interval_ns
+        self.audit_mode = audit_mode
+        self.max_stall_ns = max_stall_ns
+        self.max_age_ns = max_age_ns
+
+    def run(self):
+        topo = self.build()
+        fabric = getattr(topo, "fabric", topo)
+        registry = install_default_auditors(
+            fabric,
+            interval_ns=self.audit_interval_ns,
+            mode=self.audit_mode,
+            max_stall_ns=self.max_stall_ns,
+            max_age_ns=self.max_age_ns,
+        ).start()
+        injector = (
+            self.plan.apply(fabric) if self.plan is not None else FaultInjector(fabric)
+        )
+        if self.drive is not None:
+            self.drive(topo)
+        fabric.sim.run(until=fabric.sim.now + self.duration_ns)
+        registry.audit_now()  # one final sweep at the horizon
+        registry.stop()
+        outcome = ScenarioOutcome(topo, fabric, registry, injector, failures=[])
+        for expectation in self.expectations:
+            if not expectation.satisfied(outcome):
+                outcome.failures.append(expectation.description)
+        return outcome
+
+
+__all__ = [
+    "FaultPlan",
+    "FaultScenario",
+    "ScenarioOutcome",
+    "Expectation",
+    "expect_invariant_holds",
+    "expect_invariant_violated",
+    "expect_nic_watchdog",
+    "expect_switch_watchdog",
+    "expect_that",
+    "MATCHERS",
+]

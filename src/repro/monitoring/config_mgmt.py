@@ -18,12 +18,17 @@ class DesiredConfig:
         buffer_alpha,
         pfc_enabled=True,
         ecn_enabled=None,
+        dscp_to_priority=None,
     ):
         self.priority_mode = priority_mode
         self.lossless_priorities = frozenset(lossless_priorities)
         self.buffer_alpha = buffer_alpha
         self.pfc_enabled = pfc_enabled
         self.ecn_enabled = ecn_enabled  # None: don't check
+        # Desired DSCP -> PFC priority map.  None: don't check.  A device
+        # running a *different* map silently reclassifies lossless traffic
+        # into lossy queues (section 5.1's "wrong DSCP-to-queue mapping").
+        self.dscp_to_priority = dict(dscp_to_priority) if dscp_to_priority else None
 
     @classmethod
     def from_design(cls, design, buffer_alpha=1.0 / 16, ecn_enabled=None):
@@ -91,6 +96,7 @@ class ConfigMonitor:
             )
         if running.enabled != desired.pfc_enabled:
             drifts.append(ConfigDrift(switch.name, "pfc_enabled", desired.pfc_enabled, running.enabled))
+        drifts.extend(self._check_dscp_map(switch.name, running))
         if (
             desired.buffer_alpha is not None
             and switch.buffer_config.alpha != desired.buffer_alpha
@@ -121,7 +127,25 @@ class ConfigMonitor:
                     running.lossless_priorities,
                 )
             )
+        drifts.extend(self._check_dscp_map(host.name, running))
         return drifts
+
+    def _check_dscp_map(self, device_name, running):
+        desired = self.desired
+        if desired.dscp_to_priority is None:
+            return []
+        running_map = running.dscp_to_priority
+        running_map = dict(running_map) if running_map is not None else None
+        if running_map != desired.dscp_to_priority:
+            return [
+                ConfigDrift(
+                    device_name,
+                    "dscp_to_priority",
+                    desired.dscp_to_priority,
+                    running_map,
+                )
+            ]
+        return []
 
     def check_fabric(self, fabric):
         """All drifts across every device; empty means compliant."""

@@ -49,9 +49,18 @@ class Link:
         port_a.peer = port_b
         port_b.peer = port_a
         self.up = True
+        # Optional fault-injection hook: ``fn(link, packet)`` returning
+        # None (deliver normally), ``("drop", None)``, ``("corrupt", None)``
+        # or ``("delay", extra_ns)``.  Installed by repro.faults; the link
+        # itself stays policy-free.
+        self.fault_hook = None
         # Counters.
         self.delivered = 0
         self.lost = 0
+        self.injected_drops = 0
+        self.corrupted = 0
+        self.reordered = 0
+        self.flaps = 0
 
     def other(self, port):
         """The port at the far end from ``port``."""
@@ -80,14 +89,41 @@ class Link:
         ):
             self.lost += 1
             return serialization_ns
+        extra_delay_ns = 0
+        if self.fault_hook is not None:
+            verdict = self.fault_hook(self, packet)
+            if verdict is not None:
+                kind, arg = verdict
+                if kind == "drop":
+                    self.lost += 1
+                    self.injected_drops += 1
+                    return serialization_ns
+                if kind == "corrupt":
+                    # The frame clocks out and arrives mangled: the far
+                    # end's FCS/ICRC check discards it, so corruption is
+                    # non-delivery that still consumed wire time.
+                    self.lost += 1
+                    self.corrupted += 1
+                    return serialization_ns
+                if kind == "delay":
+                    # Held in a (modelled) faulty buffer stage: arrives
+                    # late, potentially behind packets sent after it.
+                    self.reordered += 1
+                    extra_delay_ns = int(arg)
+                else:
+                    raise ValueError("unknown fault verdict: %r" % (verdict,))
         destination = self.other(from_port)
-        self.sim.schedule(serialization_ns + self.delay_ns, destination.deliver, packet)
+        self.sim.schedule(
+            serialization_ns + self.delay_ns + extra_delay_ns, destination.deliver, packet
+        )
         self.delivered += 1
         return serialization_ns
 
     def set_down(self):
         """Take the link down: frames in flight still arrive; new frames
         are black-holed."""
+        if self.up:
+            self.flaps += 1
         self.up = False
 
     def set_up(self):

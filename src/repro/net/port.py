@@ -136,11 +136,12 @@ class DwrrScheduler:
 
 
 class _QueueEntry:
-    __slots__ = ("packet", "meta")
+    __slots__ = ("packet", "meta", "enqueued_ns")
 
-    def __init__(self, packet, meta):
+    def __init__(self, packet, meta, enqueued_ns):
         self.packet = packet
         self.meta = meta
+        self.enqueued_ns = enqueued_ns
 
 
 class Port:
@@ -208,6 +209,13 @@ class Port:
     def total_queued_packets(self):
         return sum(len(q) for q in self._queues)
 
+    def iter_entries(self):
+        """Yield ``(priority, packet, meta, enqueued_ns)`` for every queued
+        data frame.  Read-only view used by the invariant auditors."""
+        for priority, queue in enumerate(self._queues):
+            for entry in queue:
+                yield priority, entry.packet, entry.meta, entry.enqueued_ns
+
     def head_packet_bytes(self, priority):
         """Wire size of the head packet of ``priority`` (0 when empty)."""
         queue = self._queues[priority]
@@ -233,7 +241,7 @@ class Port:
         """Queue a data frame at ``priority``; kicks the transmitter."""
         if not 0 <= priority < N_PRIORITIES:
             raise ValueError("priority out of range: %r" % (priority,))
-        self._queues[priority].append(_QueueEntry(packet, meta))
+        self._queues[priority].append(_QueueEntry(packet, meta, self.sim.now))
         self._queue_bytes[priority] += packet.size_bytes
         self._try_send()
 

@@ -175,6 +175,12 @@ class Nic(Device):
     def rx_occupancy_bytes(self):
         return self._rx_bytes
 
+    def audit_rx_accounting(self):
+        """``(claimed_bytes, actual_bytes)`` of the receive buffer: the
+        running occupancy counter vs. a recount of the queued frames.
+        The invariant auditors assert these never diverge."""
+        return self._rx_bytes, sum(p.size_bytes for p in self._rx_queue)
+
     # -- receive path ------------------------------------------------------------
 
     def handle_packet(self, port, packet):

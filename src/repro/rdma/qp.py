@@ -206,6 +206,7 @@ class QpStats:
         self.out_of_order_discarded = 0
         self.rnr_naks_sent = 0
         self.rnr_naks_received = 0
+        self.stale_naks_discarded = 0
 
 
 _OPCODES = {
@@ -268,6 +269,28 @@ class QueuePair:
         # Receive queue credits (verbs post_recv); only consulted when
         # config.require_posted_receives is set.
         self.recv_credits = 0
+
+    # ----------------------------------------------------------------- audit
+
+    def audit_state(self):
+        """Published transport state for the runtime invariant auditors.
+
+        ``una``/``epsn`` only promise monotonicity when the recovery
+        policy never restarts messages (``responder_restarts`` False):
+        go-back-0 legitimately rewinds both on every loss, which is the
+        section 4.1 livelock itself, not an implementation bug.
+        """
+        return {
+            "una": self.una,
+            "send_ptr": self.send_ptr,
+            "high_sent": self.high_sent,
+            "total_end": self._total_end,
+            "epsn": self.epsn,
+            "bytes_completed": self.stats.bytes_completed,
+            "messages_completed": self.stats.messages_completed,
+            "data_packets_sent": self.stats.data_packets_sent,
+            "responder_restarts": self.config.recovery.responder_restarts,
+        }
 
     # ------------------------------------------------------------------ post
 
@@ -613,6 +636,13 @@ class QueuePair:
         if packet.aeth is not None and packet.aeth.is_nak:
             self.stats.naks_received += 1
             nak_psn = ctx.nak_psn
+            if nak_psn < self.una:
+                # A NAK below una was delayed or duplicated in flight:
+                # everything beneath it is already cumulatively acked
+                # (its message may be gone).  Acting on it would rewind
+                # completed work, so discard it as a real NIC does.
+                self.stats.stale_naks_discarded += 1
+                return
             if not self.config.recovery.responder_restarts:
                 # A NAK at E implies packets below E were received -- but
                 # only when the responder banks partial progress.

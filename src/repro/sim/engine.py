@@ -22,23 +22,32 @@ class Event:
 
     Events may be cancelled before they fire.  Cancelled events stay in the
     heap but are skipped when popped (lazy deletion), which is O(1) per
-    cancel instead of O(n).
+    cancel instead of O(n); the simulator compacts the heap once cancelled
+    entries dominate, so timer-heavy runs do not retain dead events.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "sim")
 
-    def __init__(self, time, seq, fn, args):
+    def __init__(self, time, seq, fn, args, sim=None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        # Back-reference kept only while the event sits in the heap, so
+        # cancellation can update the owner's cancelled-entry count.
+        self.sim = sim
 
     def cancel(self):
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
         self.fn = None
         self.args = None
+        if self.sim is not None:
+            self.sim._cancelled += 1
+            self.sim = None
 
     def __lt__(self, other):
         if self.time != other.time:
@@ -53,12 +62,19 @@ class Event:
 class Simulator:
     """A deterministic discrete-event simulator with a nanosecond clock."""
 
+    # Lazy deletion keeps cancels O(1), but a fault-heavy run that arms
+    # and re-arms timers (pause refresh, RTO, watchdogs) can leave the
+    # heap mostly dead entries.  Once the dead outnumber the live (and
+    # there are enough to matter), rebuild the heap without them.
+    _COMPACT_MIN_CANCELLED = 64
+
     def __init__(self):
         self._now = 0
         self._seq = 0
         self._queue = []
         self._running = False
         self._events_fired = 0
+        self._cancelled = 0  # cancelled events still sitting in the heap
 
     @property
     def now(self):
@@ -73,7 +89,18 @@ class Simulator:
     @property
     def pending(self):
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        return len(self._queue) - self._cancelled
+
+    def _compact(self):
+        """Drop cancelled entries from the heap.
+
+        Filtering preserves the (time, seq) ordering of live events, so a
+        re-heapify cannot change firing order -- compaction is invisible
+        to the simulation.
+        """
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
 
     def at(self, time, fn, *args):
         """Schedule ``fn(*args)`` at absolute simulated ``time``.
@@ -86,7 +113,12 @@ class Simulator:
                 "cannot schedule event at t=%d; clock is already at t=%d"
                 % (time, self._now)
             )
-        event = Event(int(time), self._seq, fn, args)
+        if (
+            self._cancelled >= self._COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 >= len(self._queue)
+        ):
+            self._compact()
+        event = Event(int(time), self._seq, fn, args, self)
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
@@ -107,6 +139,7 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = event.time
             fn, args = event.fn, event.args
@@ -114,6 +147,7 @@ class Simulator:
             # re-schedule themselves do not pin stale argument tuples.
             event.fn = None
             event.args = None
+            event.sim = None  # fired: a late cancel() must not miscount
             self._events_fired += 1
             fn(*args)
             return True
@@ -144,6 +178,7 @@ class Simulator:
                 event = self._queue[0]
                 if event.cancelled:
                     heapq.heappop(self._queue)
+                    self._cancelled -= 1
                     continue
                 if until is not None and event.time > until:
                     break
@@ -152,6 +187,7 @@ class Simulator:
                 fn, args = event.fn, event.args
                 event.fn = None
                 event.args = None
+                event.sim = None
                 self._events_fired += 1
                 fired += 1
                 fn(*args)

@@ -96,6 +96,25 @@ class BufferConfig:
     def is_dynamic(self):
         return self.alpha is not None
 
+    def copy(self, **overrides):
+        """A new config with ``overrides`` applied.
+
+        Builders share one BufferConfig instance across every switch, so
+        drifting a single device (the section 6.2 incident: one switch
+        model shipping alpha=1/64) must copy-then-assign, never mutate.
+        """
+        kwargs = dict(
+            total_bytes=self.total_bytes,
+            alpha=self.alpha,
+            xoff_static_bytes=self.xoff_static_bytes,
+            xon_delta_bytes=self.xon_delta_bytes,
+            headroom_per_pg_bytes=self.headroom_per_pg_bytes,
+            guaranteed_per_pg_bytes=self.guaranteed_per_pg_bytes,
+            lossy_egress_cap_bytes=self.lossy_egress_cap_bytes,
+        )
+        kwargs.update(overrides)
+        return BufferConfig(**kwargs)
+
 
 class PgState:
     """Accounting for one (ingress port, priority) pair."""

@@ -384,6 +384,24 @@ class Switch(Device):
 
     # -- monitoring ------------------------------------------------------------
 
+    def iter_buffer_claims(self):
+        """Yield each distinct :class:`_BufferClaim` currently holding
+        shared-buffer space (flood copies share one claim).  Used by the
+        buffer-conservation auditor."""
+        seen = set()
+        for port in self.ports:
+            for _priority, _packet, meta, _enqueued_ns in port.iter_entries():
+                if meta is None:
+                    continue
+                claim = meta.claim
+                if id(claim) not in seen:
+                    seen.add(id(claim))
+                    yield claim
+
+    def watchdog_trips(self):
+        """Total storm-watchdog trips across this switch's ports."""
+        return sum(w.trips for w in self._watchdogs.values())
+
     def pause_frames_sent(self):
         """Total pause frames emitted by this switch (all ports)."""
         return sum(p.stats.pause_tx for p in self.ports)

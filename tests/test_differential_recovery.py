@@ -1,0 +1,80 @@
+"""Differential test: go-back-0 vs go-back-N under an injected 1/256 loss.
+
+The section 4.1 livelock, phrased as a property of the *pair* of
+recovery policies rather than of either alone: under the same
+:class:`FaultPlan` (drop every packet whose IP ID ends 0xff, on both
+server links), identical traffic, identical seeds --
+
+* go-back-0 makes **zero** application progress: a 1 MB message is 1024
+  packets, so a drop lands in every pass and every pass restarts;
+* go-back-N completes messages despite the identical losses;
+* and *neither* run breaks a runtime invariant -- the livelock is a
+  transport pathology, not an accounting one.
+
+Run alone with ``pytest -m faults``.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, install_default_auditors
+from repro.rdma import GoBack0, GoBackN, QpConfig, connect_qp_pair
+from repro.sim import SeededRng
+from repro.sim.units import MB, MS, US
+from repro.topo import single_switch
+from repro.workloads import ClosedLoopSender, RdmaChannel
+
+pytestmark = pytest.mark.faults
+
+MESSAGE_BYTES = 1 * MB  # 1024 packets: > 256, so go-back-0 cannot finish a pass
+
+
+def _run(recovery, duration_ns=6 * MS, seed=29):
+    topo = single_switch(n_hosts=2, seed=seed).boot()
+    registry = install_default_auditors(topo.fabric).start()
+    plan = (
+        FaultPlan("livelock-loss", seed=seed)
+        .drop(("S0", "T0"), match="ip-id-ff")
+        .drop(("S1", "T0"), match="ip-id-ff")
+    )
+    plan.apply(topo.fabric)
+    rng = SeededRng(seed, "diff")
+    config = QpConfig(recovery=recovery, rto_ns=200 * US)
+    qp, _ = connect_qp_pair(
+        topo.hosts[0], topo.hosts[1], rng, config_a=config, config_b=config
+    )
+    sender = ClosedLoopSender(RdmaChannel(qp), MESSAGE_BYTES).start()
+    start = topo.sim.now
+    topo.sim.run(until=start + duration_ns)
+    drops = sum(link.injected_drops for link in topo.fabric.links)
+    return sender, qp, drops, registry
+
+
+class TestDifferentialRecovery:
+    def test_go_back_0_livelocks_where_go_back_n_progresses(self):
+        sender0, qp0, drops0, registry0 = _run(GoBack0())
+        sendern, qpn, dropsn, registryn = _run(GoBackN())
+
+        # Both runs really suffered the injected loss and burned the wire.
+        assert drops0 > 0 and dropsn > 0
+        assert qp0.stats.data_packets_sent > 2000
+
+        # The differential: zero progress vs completed messages.
+        assert sender0.completed_bytes == 0
+        assert sender0.completed_messages == 0
+        assert sendern.completed_bytes >= MESSAGE_BYTES
+        assert sendern.completed_messages >= 1
+
+        # go-back-0's pathology is retransmission, not starvation: it
+        # keeps resending from PSN 0 at full rate.
+        assert qp0.stats.retransmitted_packets > qpn.stats.retransmitted_packets
+
+    def test_neither_policy_breaks_an_invariant(self):
+        # The livelock wastes bandwidth while every invariant holds --
+        # which is exactly why it went unnoticed until application
+        # metrics flatlined.  (go-back-0's PSN rewinds are declared via
+        # responder_restarts, so the monotonicity auditor exempts them.)
+        _, _, _, registry0 = _run(GoBack0(), duration_ns=4 * MS)
+        _, _, _, registryn = _run(GoBackN(), duration_ns=4 * MS)
+        assert registry0.clean, registry0.summary()
+        assert registryn.clean, registryn.summary()
+        assert registry0.ticks >= 30 and registryn.ticks >= 30

@@ -5,9 +5,11 @@ round-trip bit-exactly, buffer accounting never leaks, max-min
 allocations are feasible and fair, the event engine is causally ordered.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.faults import FaultPlan, install_default_auditors
 from repro.packets.arp import ArpPacket
 from repro.packets.ethernet import VlanTag, mac_from_str, mac_to_str
 from repro.packets.ip import Ipv4Header, checksum16, ip_from_str, ip_to_str
@@ -255,6 +257,107 @@ def test_maxmin_is_feasible_and_positive(n_links, n_flows, data):
 def test_maxmin_single_link_is_equal_split(n_flows, capacity):
     rates = max_min_allocation({"l": float(capacity)}, [["l"]] * n_flows)
     assert all(abs(rate - capacity / n_flows) < 1e-9 for rate in rates)
+
+
+# --- fault injection / invariant auditors ----------------------------------------
+
+
+def _drive_incast(topo, seed, message_bytes=64 * 1024):
+    from repro.rdma import connect_qp_pair
+    from repro.sim import SeededRng
+    from repro.workloads import ClosedLoopSender, RdmaChannel
+
+    hosts = topo.fabric.hosts
+    if len(hosts) < 2:
+        return
+    rng = SeededRng(seed, "prop-traffic")
+    for src in hosts[1:3]:
+        qp, _ = connect_qp_pair(src, hosts[0], rng)
+        ClosedLoopSender(RdmaChannel(qp), message_bytes).start()
+
+
+@pytest.mark.faults
+@settings(max_examples=8, deadline=None)
+@given(
+    n_tors=st.integers(1, 2),
+    hosts_per_tor=st.integers(1, 3),
+    n_leaves=st.integers(1, 2),
+    seed=st.integers(0, 10_000),
+)
+def test_random_clos_under_load_never_trips_auditors_fault_free(
+    n_tors, hosts_per_tor, n_leaves, seed
+):
+    # The auditors must never cry wolf: any well-formed topology running
+    # ordinary congestion (no faults at all) stays violation-free.  Runs
+    # in raise mode so the first false positive explains itself.
+    from repro.sim.units import MS
+    from repro.topo import two_tier
+
+    topo = two_tier(
+        n_tors=n_tors, hosts_per_tor=hosts_per_tor, n_leaves=n_leaves, seed=seed
+    ).boot()
+    registry = install_default_auditors(topo.fabric, mode="raise").start()
+    _drive_incast(topo, seed)
+    topo.sim.run(until=topo.sim.now + 2 * MS)
+    assert registry.clean
+    assert registry.ticks >= 15
+
+
+@pytest.mark.faults
+@settings(max_examples=8, deadline=None)
+@given(data=st.data())
+def test_buffer_accounting_survives_random_fault_plans(data):
+    # Conservation is unconditional: whatever combination of flaps,
+    # drops, corruption and reordering a random FaultPlan throws at the
+    # fabric, every buffered byte stays exactly accounted.  (Liveness
+    # invariants like pause-bounded are *supposed* to trip under some of
+    # these plans, so only conservation is asserted.)
+    from repro.sim.units import MS
+    from repro.topo import two_tier
+
+    seed = data.draw(st.integers(0, 10_000), label="seed")
+    topo = two_tier(n_tors=2, hosts_per_tor=2, n_leaves=1, seed=seed).boot()
+    fabric = topo.fabric
+    registry = install_default_auditors(fabric).start()
+
+    plan = FaultPlan("random", seed=seed)
+    n_links = len(fabric.links)
+    for i in range(data.draw(st.integers(1, 4), label="n_faults")):
+        link = data.draw(st.integers(0, n_links - 1), label="link%d" % i)
+        kind = data.draw(
+            st.sampled_from(["flap", "drop", "corrupt", "reorder"]),
+            label="kind%d" % i,
+        )
+        if kind == "flap":
+            plan.flap_link(
+                link,
+                at_ns=data.draw(st.integers(150_000, 2_000_000), label="at%d" % i),
+                down_ns=data.draw(st.integers(10_000, 400_000), label="down%d" % i),
+            )
+        elif kind == "drop":
+            plan.drop(
+                link,
+                probability=data.draw(st.floats(0.001, 0.05), label="p%d" % i),
+                match="data",
+            )
+        elif kind == "corrupt":
+            plan.corrupt(
+                link,
+                probability=data.draw(st.floats(0.001, 0.05), label="p%d" % i),
+                match="data",
+            )
+        else:
+            plan.reorder(
+                link,
+                delay_ns=data.draw(st.integers(500, 20_000), label="d%d" % i),
+                probability=data.draw(st.floats(0.01, 0.2), label="p%d" % i),
+            )
+    plan.apply(fabric)
+    _drive_incast(topo, seed)
+    topo.sim.run(until=topo.sim.now + 3 * MS)
+    assert not registry.violations_for("buffer-conservation")
+    assert not registry.violations_for("nic-rx-conservation")
+    assert not registry.violations_for("psn-monotonic")
 
 
 # --- event engine ordering ------------------------------------------------------------

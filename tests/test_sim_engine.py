@@ -157,6 +157,50 @@ def test_events_fired_counter():
     assert sim.events_fired == 7
 
 
+def test_cancelled_events_do_not_accumulate_in_heap():
+    # Regression: cancelled events used to stay in the heap as tombstones
+    # until their deadline, so a schedule/cancel loop (every retransmission
+    # timer restart does this) grew the heap without bound.
+    sim = Simulator()
+    sim.schedule(1_000_000, lambda: None)  # one live far-future event
+    for _ in range(10_000):
+        sim.schedule(500, lambda: None).cancel()
+    assert sim.pending == 1
+    assert len(sim._queue) < 1000  # tombstones compacted away, not retained
+
+
+def test_compaction_preserves_firing_order():
+    sim = Simulator()
+    fired = []
+    live = []
+    for tag in range(200):
+        live.append(sim.schedule(tag * 3 + 7, fired.append, tag))
+    # Interleave enough cancels to force several compactions.
+    for _ in range(2000):
+        sim.schedule(10_000, lambda: None).cancel()
+    sim.run_until_idle()
+    assert fired == list(range(200))
+
+
+def test_cancel_after_fire_keeps_accounting_sane():
+    sim = Simulator()
+    event = sim.schedule(5, lambda: None)
+    sim.run_until_idle()
+    event.cancel()  # a no-op: already fired
+    assert sim._cancelled == 0
+    assert sim.pending == 0
+
+
+def test_pending_exact_across_mixed_cancels():
+    sim = Simulator()
+    events = [sim.schedule(100 + i, lambda: None) for i in range(50)]
+    for event in events[::2]:
+        event.cancel()
+    assert sim.pending == 25
+    sim.run_until_idle()
+    assert sim.pending == 0
+
+
 class TestTimer:
     def test_fires_after_delay(self):
         sim = Simulator()
