@@ -31,6 +31,27 @@ def test_bench_engine_event_throughput(benchmark):
     assert fired == 100_000
 
 
+def test_bench_timer_rearm_throughput(benchmark):
+    """Timer start/cancel churn: the RTO/watchdog/pause-expiry hot path.
+
+    Every in-flight packet re-arms at least one Timer, so Timer.start is
+    as hot as packet dispatch itself (this is what the __slots__ on
+    Timer/Event buy back).
+    """
+    from repro.sim.timer import Timer
+
+    def run():
+        sim = Simulator()
+        timer = Timer(sim, lambda: None, "rto")
+        for _ in range(100_000):
+            timer.start(5)
+        sim.run_until_idle()
+        return sim.events_fired
+
+    fired = benchmark(run)
+    assert fired == 1  # every re-arm cancelled the previous deadline
+
+
 def test_bench_single_switch_packet_rate(benchmark):
     """End-to-end packets through NIC -> switch -> NIC (4 MB transfer)."""
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Run every example under the runtime invariant auditors.
+"""Run every example under the runtime invariant auditors, in parallel.
 
 Each script in ``examples/`` installs the auditors itself (strict mode
 for healthy scenarios; record mode with asserted expectations for the
@@ -8,52 +8,95 @@ auditors and the fix is supposed to stay clean).  A demo whose audit
 expectation fails exits nonzero, so this smoke test reduces to: run
 them all, fail on the first bad exit code.
 
-Usage:  python scripts/audit_smoke.py [pattern ...]
+The examples are independent processes, so they ride the campaign
+worker pool (:mod:`repro.campaign.pool`): one isolated subprocess per
+example, fanned out over the machine's cores, with a per-example
+timeout so a wedged demo cannot hang the smoke run.
+
+Usage:  python scripts/audit_smoke.py [-j N] [--timeout S] [pattern ...]
 
 Optional patterns filter by substring ("storm" runs only
 storm_watchdogs.py).  Exit status is the number of failing examples.
 """
 
+import argparse
 import os
 import subprocess
 import sys
-import time
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 EXAMPLES = os.path.join(REPO, "examples")
 SRC = os.path.join(REPO, "src")
 
+sys.path.insert(0, SRC)
+
+from repro.campaign import pool  # noqa: E402  (path set up above)
+
+
+def run_example(name):
+    """Worker: run one example; returns (returncode, combined output)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name)],
+        env=env,
+        cwd=REPO,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+    return proc.returncode, proc.stdout.decode("utf-8", "replace")
+
 
 def main(argv):
-    patterns = argv[1:]
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("patterns", nargs="*", help="substring filters on example names")
+    parser.add_argument("-j", "--jobs", type=int, default=None,
+                        help="parallel examples (default: cpu count)")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="per-example wall-clock limit in seconds")
+    args = parser.parse_args(argv[1:])
+
     scripts = sorted(
         name
         for name in os.listdir(EXAMPLES)
         if name.endswith(".py")
-        and (not patterns or any(p in name for p in patterns))
+        and (not args.patterns or any(p in name for p in args.patterns))
     )
     if not scripts:
-        print("no examples match %r" % (patterns,))
+        print("no examples match %r" % (args.patterns,))
         return 2
 
-    env = dict(os.environ)
-    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    def on_event(event):
+        if event["type"] != "done":
+            return
+        outcome = event["outcome"]
+        if outcome.ok:
+            returncode, _output = outcome.value
+            verdict = "ok" if returncode == 0 else "FAIL (exit %d)" % returncode
+        else:
+            verdict = "FAIL (%s)" % outcome.status
+        print("%-28s %-14s %5.1fs" % (outcome.task_id, verdict, outcome.duration_s))
+
+    outcomes = pool.run_tasks(
+        [(name, name) for name in scripts],
+        run_example,
+        jobs=args.jobs,
+        timeout_s=args.timeout,
+        retries=0,
+        on_event=on_event,
+    )
+
     failures = []
     for name in scripts:
-        path = os.path.join(EXAMPLES, name)
-        started = time.time()
-        proc = subprocess.run(
-            [sys.executable, path],
-            env=env,
-            cwd=REPO,
-            stdout=subprocess.PIPE,
-            stderr=subprocess.STDOUT,
-        )
-        verdict = "ok" if proc.returncode == 0 else "FAIL (exit %d)" % proc.returncode
-        print("%-28s %-14s %5.1fs" % (name, verdict, time.time() - started))
-        if proc.returncode != 0:
+        outcome = outcomes[name]
+        if not outcome.ok:
             failures.append(name)
-            sys.stdout.write(proc.stdout.decode("utf-8", "replace"))
+            print("--- %s: %s\n%s" % (name, outcome.status, outcome.error or ""))
+        else:
+            returncode, output = outcome.value
+            if returncode != 0:
+                failures.append(name)
+                sys.stdout.write(output)
 
     print(
         "\n%d/%d examples passed under audit" % (len(scripts) - len(failures), len(scripts))

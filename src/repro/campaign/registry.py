@@ -1,0 +1,76 @@
+"""The campaign target registry.
+
+Every entry of the experiments catalogue
+(:data:`repro.experiments.catalog.CATALOG` -- E1..E11 and the A1..A7
+ablation sweeps) is a campaign target out of the box.  Other code (a
+test, a study script) can register additional targets at runtime with
+:func:`register`, or a sweep spec can bypass the registry entirely by
+naming a runner ``ref`` inline.
+
+A target's runner must be a module-level callable returning an
+:class:`~repro.experiments.common.ExperimentResult`; worker processes
+resolve it by its ``module:attr`` reference.
+"""
+
+from repro.experiments.catalog import CATALOG, CatalogEntry, resolve_tokens
+
+
+class Registry:
+    """Experiment id -> :class:`CatalogEntry`, catalogue plus extras."""
+
+    def __init__(self, base=None):
+        self._extra = {}
+        self._base = CATALOG if base is None else base
+
+    def get(self, exp_id):
+        return self._extra.get(exp_id) or self._base.get(exp_id)
+
+    def register(self, exp_id, ref, description="", runner_name=None):
+        """Add (or replace) a target; returns its :class:`CatalogEntry`."""
+        if exp_id in self._base:
+            raise ValueError(
+                "%r is a built-in catalogue experiment and cannot be re-registered"
+                % exp_id
+            )
+        entry = CatalogEntry(
+            exp_id,
+            runner_name or ref.partition(":")[2],
+            description,
+            ref=ref,
+        )
+        self._extra[exp_id] = entry
+        return entry
+
+    def unregister(self, exp_id):
+        self._extra.pop(exp_id, None)
+
+    def ids(self):
+        return list(self._base) + [i for i in self._extra if i not in self._base]
+
+    def entries(self):
+        return [self.get(exp_id) for exp_id in self.ids()]
+
+    def resolve_tokens(self, tokens):
+        """Token matching across catalogue + extras (see the catalogue)."""
+        selected, unmatched = resolve_tokens(tokens)
+        still_unmatched = []
+        for token in unmatched:
+            if token in self._extra:
+                selected.append(token)
+            else:
+                still_unmatched.append(token)
+        return selected, still_unmatched
+
+
+#: The process-wide default registry used by the CLI and, thanks to
+#: fork-based workers, visible to campaign worker processes as well.
+DEFAULT_REGISTRY = Registry()
+
+
+def register(exp_id, ref, description=""):
+    """Register a target on the default registry."""
+    return DEFAULT_REGISTRY.register(exp_id, ref, description)
+
+
+def unregister(exp_id):
+    DEFAULT_REGISTRY.unregister(exp_id)

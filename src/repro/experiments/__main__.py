@@ -6,7 +6,8 @@
     python -m repro.experiments --all --csv-dir results/
 
 Each experiment prints the regenerated table; ``--csv-dir`` also writes
-one CSV per experiment.
+one CSV per experiment.  For parallel, cached, resumable sweeps over
+the same catalogue, use ``python -m repro.campaign`` instead.
 """
 
 import argparse
@@ -14,42 +15,7 @@ import os
 import sys
 import time
 
-from repro import experiments
-
-#: id -> (runner name, short description)
-CATALOG = {
-    "E1": ("run_livelock", "transport livelock, go-back-0 vs go-back-N (sec 4.1)"),
-    "E2": ("run_deadlock", "PFC deadlock via flooding + the ARP-drop fix (fig 4)"),
-    "E3": ("run_storm", "NIC pause storm and the two watchdogs (figs 5, 9)"),
-    "E4": ("run_latency_vs_tcp", "RDMA vs TCP latency percentiles (fig 6)"),
-    "E5": ("run_clos_throughput", "3-tier Clos aggregate throughput (fig 7)"),
-    "E6": ("run_congestion_latency", "latency before/after saturating load (fig 8)"),
-    "E7": ("run_slow_receiver", "slow-receiver symptom and mitigations (sec 4.4)"),
-    "E8": ("run_buffer_misconfig", "buffer alpha misconfiguration (fig 10)"),
-    "E9": ("run_dscp_vs_vlan", "DSCP-based vs VLAN-based PFC (sec 3)"),
-    "E10": ("run_cpu_overhead", "TCP vs RDMA CPU cost (sec 1)"),
-    "E11": ("run_headroom", "PFC headroom and the two-class limit (sec 2)"),
-    "A1": ("run_cc_comparison", "ablation: none / DCQCN / TIMELY"),
-    "A2": ("run_alpha_sweep", "ablation: dynamic-alpha sweep"),
-    "A3": ("run_ecn_sweep", "ablation: DCQCN Kmin vs pause generation"),
-    "A4": ("run_gbn_waste", "ablation: go-back-N waste vs RTT"),
-    "A5": ("run_routing_models", "ablation: ECMP vs per-packet spraying"),
-    "A6": ("run_interdc_distance", "ablation: PFC headroom vs distance"),
-    "A7": ("run_tcp_flavours", "ablation: TCP class flavour, Reno vs DCTCP"),
-}
-
-
-def _resolve(token):
-    """Match a CLI token to catalogue ids (exact id, else name fragment)."""
-    token_lower = token.lower()
-    if token.upper() in CATALOG:
-        return [token.upper()]
-    matches = [
-        exp_id
-        for exp_id, (runner, description) in CATALOG.items()
-        if token_lower in runner.lower() or token_lower in description.lower()
-    ]
-    return matches
+from repro.experiments.catalog import CATALOG, resolve_tokens
 
 
 def main(argv=None):
@@ -57,34 +23,31 @@ def main(argv=None):
         prog="python -m repro.experiments",
         description="Regenerate tables/figures of 'RDMA over Commodity Ethernet at Scale'.",
     )
-    parser.add_argument("which", nargs="*", help="experiment ids (E1..E11, A1..A6) or name fragments")
+    parser.add_argument("which", nargs="*", help="experiment ids (E1..E11, A1..A7) or name fragments")
     parser.add_argument("--list", action="store_true", help="list available experiments")
     parser.add_argument("--all", action="store_true", help="run everything")
     parser.add_argument("--csv-dir", help="also write one CSV per experiment here")
     args = parser.parse_args(argv)
 
     if args.list or (not args.which and not args.all):
-        for exp_id, (runner, description) in CATALOG.items():
-            print("%-4s %-24s %s" % (exp_id, runner, description))
+        for entry in CATALOG.values():
+            print("%-4s %-24s %s" % (entry.exp_id, entry.runner_name, entry.description))
         return 0
 
     if args.all:
         selected = list(CATALOG)
     else:
-        selected = []
-        for token in args.which:
-            matches = _resolve(token)
-            if not matches:
-                print("no experiment matches %r (try --list)" % token, file=sys.stderr)
-                return 2
-            selected.extend(m for m in matches if m not in selected)
+        selected, unmatched = resolve_tokens(args.which)
+        if unmatched:
+            print("no experiment matches %r (try --list)" % unmatched[0], file=sys.stderr)
+            return 2
 
     if args.csv_dir:
         os.makedirs(args.csv_dir, exist_ok=True)
 
     for exp_id in selected:
-        runner_name, _ = CATALOG[exp_id]
-        runner = getattr(experiments, runner_name)
+        entry = CATALOG[exp_id]
+        runner = entry.resolve()
         started = time.time()
         result = runner()
         print(result.format_table())

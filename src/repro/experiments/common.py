@@ -1,12 +1,22 @@
 """Shared experiment scaffolding."""
 
 import csv
+import json
 
 from repro.net.port import DwrrScheduler
 
+#: Row cell types that serialize losslessly to JSON (and therefore diff
+#: cleanly across runs).  Anything else must be stringified by the
+#: experiment itself before it lands in a row.
+_SCALAR_TYPES = (type(None), bool, int, float, str)
+
+
+class SchemaError(ValueError):
+    """A result's rows do not share one stable, serializable schema."""
+
 
 class ExperimentResult:
-    """Base result: named rows + a printable table + CSV export."""
+    """Base result: named rows + a printable table + CSV/JSONL export."""
 
     title = "experiment"
 
@@ -16,14 +26,69 @@ class ExperimentResult:
     def rows(self):
         return list(self._rows)
 
-    def to_csv(self, path):
-        """Write the rows as CSV (one column per row key, union-ordered)."""
-        rows = self.rows()
+    def schema(self):
+        """The stable column order: first-row keys + extras in first-seen order."""
         columns = []
-        for row in rows:
+        for row in self.rows():
             for key in row:
                 if key not in columns:
                     columns.append(key)
+        return columns
+
+    def check_schema(self):
+        """Validate that the rows are machine-diffable; returns the schema.
+
+        Campaign artifacts are compared row-for-row across runs and
+        machines, so every row's keys must appear in the union schema in
+        the schema's order (rows may omit trailing/optional columns, and
+        :meth:`normalized_rows` fills those with ``None``) and every
+        cell must be a JSON scalar.  Raises :class:`SchemaError` naming
+        the first offending row otherwise.
+        """
+        columns = self.schema()
+        order = {key: position for position, key in enumerate(columns)}
+        for index, row in enumerate(self.rows()):
+            positions = [order[key] for key in row]
+            if positions != sorted(positions):
+                raise SchemaError(
+                    "%s: row %d columns %r out of schema order %r"
+                    % (self.title, index, list(row), columns)
+                )
+            for key, value in row.items():
+                if not isinstance(value, _SCALAR_TYPES):
+                    raise SchemaError(
+                        "%s: row %d cell %r is %s, not a JSON scalar"
+                        % (self.title, index, key, type(value).__name__)
+                    )
+        return columns
+
+    def normalized_rows(self):
+        """Rows with the full schema: union columns, ``None``-filled."""
+        columns = self.check_schema()
+        return [{key: row.get(key) for key in columns} for row in self.rows()]
+
+    def to_jsonl(self, path=None):
+        """Serialize rows as JSON Lines (one canonical object per row).
+
+        Key order follows :meth:`schema`, floats round-trip via
+        ``repr``, and there is no whitespace variance -- two runs that
+        produced the same rows produce byte-identical files.  Returns
+        the JSONL string; also writes it to ``path`` when given.
+        """
+        lines = [
+            json.dumps(row, separators=(",", ":"), allow_nan=False)
+            for row in self.normalized_rows()
+        ]
+        text = "".join(line + "\n" for line in lines)
+        if path is not None:
+            with open(path, "w") as handle:
+                handle.write(text)
+        return text
+
+    def to_csv(self, path):
+        """Write the rows as CSV (one column per row key, union-ordered)."""
+        rows = self.rows()
+        columns = self.schema()
         with open(path, "w", newline="") as handle:
             writer = csv.DictWriter(handle, fieldnames=columns)
             writer.writeheader()

@@ -14,6 +14,10 @@ import zlib
 class SeededRng:
     """A ``random.Random`` stream keyed by ``(seed, name)``."""
 
+    # Instantiated per component (and per ECN-mark draw site); slots keep
+    # the wrapper at two machine words over the underlying Random.
+    __slots__ = ("seed", "name", "_random")
+
     def __init__(self, seed, name=""):
         self.seed = seed
         self.name = name

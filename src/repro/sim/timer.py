@@ -15,6 +15,10 @@ class Timer:
     Restarting an armed timer cancels the previous deadline first.
     """
 
+    # One Timer per QP RTO / watchdog / pause expiry / DCQCN clock: this
+    # is a per-event-source hot class, so keep it dict-free.
+    __slots__ = ("_sim", "_callback", "_event", "name")
+
     def __init__(self, sim, callback, name=""):
         self._sim = sim
         self._callback = callback
