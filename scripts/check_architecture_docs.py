@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Check that ARCHITECTURE.md's code references actually exist.
+
+The paper-to-code map is only useful while it is true.  This script
+extracts every path-shaped reference from ARCHITECTURE.md — module
+paths like ``switch/pfc.py`` or ``core/deadlock.py`` (resolved under
+``src/repro/``), package references like ``monitoring/``, and repo-level
+files like ``examples/quickstart.py`` or ``docs/benchmarking.md`` — and
+fails if any of them is missing from the tree.  CI runs it so a rename
+or deletion cannot silently orphan the documentation.
+
+Usage: python scripts/check_architecture_docs.py [path-to-ARCHITECTURE.md]
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_ROOT = os.path.join(REPO_ROOT, "src", "repro")
+
+#: Where path references live: inline code spans and markdown link targets.
+#: Prose slashes ("pause/resume", "p99/p99.9") are deliberately ignored.
+_CODE_SPAN_RE = re.compile(r"`([^`]+)`")
+_LINK_TARGET_RE = re.compile(r"\]\(([^)#]+)\)")
+
+#: Anything that looks like a path: word/word/...ext or a trailing slash.
+_PATH_RE = re.compile(r"\b[\w.-]+(?:/[\w.-]+)+(?:\.\w+|/)?|\b[\w-]+/(?=\s|$|[),.;:`])")
+
+#: Top-level repo entries that ARCHITECTURE.md may reference directly.
+_REPO_LEVEL_PREFIXES = (
+    "examples/",
+    "docs/",
+    "benchmarks/",
+    "scripts/",
+    "src/",
+    "tests/",
+)
+
+
+def _candidates(markdown):
+    """Yield the distinct path-shaped strings referenced in the document."""
+    # Fenced blocks are scanned whole (the layering diagram names real
+    # directories) and removed first -- their triple backticks would
+    # otherwise invert the inline-span pairing for the rest of the file.
+    fenced = re.findall(r"```.*?```", markdown, flags=re.S)
+    markdown = re.sub(r"```.*?```", "", markdown, flags=re.S)
+    spans = fenced
+    spans += [m.group(1) for m in _CODE_SPAN_RE.finditer(markdown)]
+    spans += [m.group(1) for m in _LINK_TARGET_RE.finditer(markdown)]
+    seen = set()
+    for span in spans:
+        if "://" in span:  # external URL
+            continue
+        for match in _PATH_RE.finditer(span):
+            path = match.group(0).rstrip(".,;:")
+            if path and path not in seen:
+                seen.add(path)
+                yield path
+
+
+def _exists(path):
+    """Resolve one reference against the tree; True when it exists."""
+    if path.startswith(_REPO_LEVEL_PREFIXES) or path.endswith(".md"):
+        return os.path.exists(os.path.join(REPO_ROOT, path.rstrip("/")))
+    # Bare packages like "monitoring/" and modules like "switch/pfc.py"
+    # live under src/repro/.
+    target = os.path.join(SRC_ROOT, path.rstrip("/"))
+    if os.path.exists(target):
+        return True
+    # "tracing.py"-style single-file references never match _PATH_RE, so
+    # a two-component miss may still be a repo-level path (e.g. a
+    # directory listing in a code block).
+    return os.path.exists(os.path.join(REPO_ROOT, path.rstrip("/")))
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    doc_path = argv[0] if argv else os.path.join(REPO_ROOT, "ARCHITECTURE.md")
+    with open(doc_path) as handle:
+        markdown = handle.read()
+
+    checked = 0
+    missing = []
+    for path in _candidates(markdown):
+        checked += 1
+        if not _exists(path):
+            missing.append(path)
+
+    doc_name = os.path.basename(doc_path)
+    if missing:
+        print("%s references %d missing path(s):" % (doc_name, len(missing)))
+        for path in sorted(missing):
+            print("  MISSING  %s" % path)
+        return 1
+    print(
+        "%s: all %d referenced paths exist under %s"
+        % (doc_name, checked, REPO_ROOT)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

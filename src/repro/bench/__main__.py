@@ -1,0 +1,115 @@
+"""CLI: ``python -m repro.bench [scenarios...] [options]``.
+
+Examples::
+
+    python -m repro.bench --all                   # full set -> BENCH_simulator.json
+    python -m repro.bench clos_slice --repeat 5   # one scenario, more samples
+    python -m repro.bench --all --profile         # + per-subsystem attribution
+    python -m repro.bench --list                  # what exists
+    python -m repro.bench --all --write-baseline benchmarks/BASELINE.json
+"""
+
+import argparse
+import json
+import sys
+
+from repro.bench.harness import (
+    build_report,
+    load_baseline,
+    run_benchmarks,
+    write_baseline,
+    write_report,
+)
+from repro.bench.scenarios import SCENARIOS
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Benchmark the simulator's hot path and track the results.",
+    )
+    parser.add_argument("scenarios", nargs="*", help="scenario names (default: --all)")
+    parser.add_argument("--all", action="store_true", help="run every scenario")
+    parser.add_argument("--list", action="store_true", help="list scenarios and exit")
+    parser.add_argument("--seed", type=int, default=1, help="scenario seed (default 1)")
+    parser.add_argument(
+        "--repeat", type=int, default=3, help="timing repeats, best-of (default 3)"
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="add a cProfile pass attributing time per subsystem",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_simulator.json",
+        help="report path (default: BENCH_simulator.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/BASELINE.json",
+        help="baseline to compare against (default: benchmarks/BASELINE.json)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="record this run as the new baseline file and exit",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="print the report without writing it"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, scenario in SCENARIOS.items():
+            print("%-14s %-42s [%s]" % (name, scenario.title, scenario.paper_ref))
+        return 0
+
+    names = args.scenarios or None
+    if args.all or not names:
+        names = list(SCENARIOS)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        parser.error(
+            "unknown scenario(s) %s; try --list" % ", ".join(repr(n) for n in unknown)
+        )
+
+    scenarios = run_benchmarks(
+        names,
+        seed=args.seed,
+        repeat=args.repeat,
+        profile=args.profile,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+
+    if args.write_baseline:
+        path = write_baseline(scenarios, args.write_baseline)
+        print("baseline written: %s" % path)
+        return 0
+
+    report = build_report(
+        scenarios, baseline=load_baseline(args.baseline), repeat=args.repeat
+    )
+    if args.no_write:
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        write_report(report, args.out)
+        print("report written: %s" % args.out)
+    for name, row in sorted(report["comparison"].items()):
+        flag = "" if row["fingerprint_match"] else "  !! FINGERPRINT DRIFT"
+        print(
+            "%-14s %6.2fx vs baseline (%s -> %s events/s)%s"
+            % (
+                name,
+                row["speedup"],
+                "{:,.0f}".format(row["baseline_events_per_sec"]),
+                "{:,.0f}".format(report["scenarios"][name]["events_per_sec"]),
+                flag,
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

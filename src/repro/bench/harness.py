@@ -1,0 +1,207 @@
+"""Measurement harness: wall clock, cProfile attribution, report emission.
+
+``run_benchmarks`` times each scenario ``repeat`` times (best-of wall
+time — the minimum is the least noisy estimator of intrinsic cost),
+derives events/sec and packets/sec, optionally runs one extra profiled
+pass whose time is attributed per subsystem, compares against the
+checked-in baseline (``benchmarks/BASELINE.json``), and emits the
+schema-validated ``BENCH_simulator.json``.
+
+The report stamps :func:`repro.campaign.cache.code_version` — the digest
+of every file under ``src/repro`` — so a result is always attributable
+to the exact code that produced it.
+"""
+
+import cProfile
+import json
+import os
+import platform
+import pstats
+import sys
+import time
+
+from repro.bench.scenarios import SCENARIOS
+from repro.bench.schema import SCHEMA_ID, validate_report
+
+#: Source-path fragment -> subsystem bucket for profile attribution.
+#: Ordered: first match wins (os.sep-normalized at match time).
+_SUBSYSTEM_BUCKETS = (
+    ("repro/sim/", "engine"),
+    ("repro/packets/", "packets"),
+    ("repro/net/", "net"),
+    ("repro/switch/", "switch"),
+    ("repro/nic/", "nic"),
+    ("repro/rdma/", "rdma"),
+    ("repro/tcp/", "tcp"),
+    ("repro/dcqcn/", "cc"),
+    ("repro/timely/", "cc"),
+    ("repro/", "other-repro"),
+)
+
+
+def _bucket_for(filename):
+    normalized = filename.replace(os.sep, "/")
+    for fragment, bucket in _SUBSYSTEM_BUCKETS:
+        if fragment in normalized:
+            return bucket
+    if "heapq" in normalized or filename.startswith("~"):
+        return "engine"
+    return "stdlib"
+
+
+def profile_scenario(name, seed=1):
+    """Run one scenario under cProfile; return ``{bucket: seconds}``.
+
+    Attribution uses *total* time (time inside the function itself,
+    excluding callees), so buckets sum to roughly the run's wall time
+    and answer "where are the cycles actually spent", not "who is on
+    the call stack".
+    """
+    scenario = SCENARIOS[name]
+    profiler = cProfile.Profile()
+    profiler.enable()
+    scenario.run(seed)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    buckets = {}
+    for (filename, _lineno, _fn), row in stats.stats.items():
+        tottime = row[2]
+        bucket = _bucket_for(filename)
+        buckets[bucket] = buckets.get(bucket, 0.0) + tottime
+    total = sum(buckets.values()) or 1.0
+    return {
+        bucket: {"seconds": round(seconds, 4), "fraction": round(seconds / total, 4)}
+        for bucket, seconds in sorted(buckets.items(), key=lambda kv: -kv[1])
+    }
+
+
+def run_benchmarks(names=None, seed=1, repeat=3, profile=False, progress=None):
+    """Time the named scenarios (all of them by default).
+
+    Returns the ``scenarios`` mapping of the report: per scenario, the
+    counters, best-of-``repeat`` wall time, derived rates, fingerprint,
+    and (with ``profile=True``) the per-subsystem attribution.
+    """
+    names = list(names) if names else list(SCENARIOS)
+    results = {}
+    for name in names:
+        scenario = SCENARIOS[name]
+        if progress:
+            progress("%-14s %s ..." % (name, scenario.title))
+        walls = []
+        run = None
+        for _ in range(max(1, repeat)):
+            started = time.perf_counter()
+            run = scenario.run(seed)
+            walls.append(time.perf_counter() - started)
+        best = min(walls)
+        entry = {
+            "title": scenario.title,
+            "paper_ref": scenario.paper_ref,
+            "seed": seed,
+            "events": run.events,
+            "packets": run.packets,
+            "sim_ns": run.sim_ns,
+            "wall_s": round(best, 4),
+            "wall_s_all": [round(w, 4) for w in walls],
+            "events_per_sec": round(run.events / best, 1),
+            "packets_per_sec": round(run.packets / best, 1) if run.packets else 0.0,
+            "fingerprint": run.fingerprint,
+        }
+        for key, value in run.detail.items():
+            entry[key] = round(value, 3) if isinstance(value, float) else value
+        if profile:
+            entry["profile"] = profile_scenario(name, seed)
+        if progress:
+            progress(
+                "%-14s %8.3fs  %11s events/s  fp=%s"
+                % (name, best, "{:,.0f}".format(entry["events_per_sec"]), run.fingerprint)
+            )
+        results[name] = entry
+    return results
+
+
+def load_baseline(path):
+    """Load ``benchmarks/BASELINE.json``; returns None when absent."""
+    if not path or not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def compare_to_baseline(scenarios, baseline):
+    """Per-scenario speedup and fingerprint agreement vs the baseline."""
+    comparison = {}
+    if not baseline:
+        return comparison
+    base_scenarios = baseline.get("scenarios", {})
+    for name, entry in scenarios.items():
+        base = base_scenarios.get(name)
+        if not base:
+            continue
+        comparison[name] = {
+            "baseline_events_per_sec": base["events_per_sec"],
+            "speedup": round(entry["events_per_sec"] / base["events_per_sec"], 3),
+            "fingerprint_match": entry["fingerprint"] == base["fingerprint"],
+        }
+    return comparison
+
+
+def build_report(scenarios, baseline=None, repeat=3):
+    """Assemble (and schema-validate) the full report object."""
+    from repro.campaign.cache import code_version
+
+    report = {
+        "schema": SCHEMA_ID,
+        "generated_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "code_version": code_version(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeat": repeat,
+        "scenarios": scenarios,
+        "baseline": baseline,
+        "comparison": compare_to_baseline(scenarios, baseline),
+    }
+    validate_report(report)
+    return report
+
+
+def write_report(report, path):
+    """Write the report as stable, diff-friendly JSON."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def write_baseline(scenarios, path):
+    """Record the current numbers as the new baseline file.
+
+    Only the fields future runs compare against are kept, so the
+    baseline survives harness-report schema evolution.
+    """
+    from repro.campaign.cache import code_version
+
+    baseline = {
+        "recorded_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "code_version": code_version(),
+        "python": platform.python_version(),
+        "note": (
+            "Pre-PR hot-path baseline. events_per_sec is machine-relative; "
+            "fingerprints are machine-independent and pinned by tests/test_bench.py."
+        ),
+        "scenarios": {
+            name: {
+                "events_per_sec": entry["events_per_sec"],
+                "events": entry["events"],
+                "packets": entry["packets"],
+                "wall_s": entry["wall_s"],
+                "fingerprint": entry["fingerprint"],
+            }
+            for name, entry in scenarios.items()
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

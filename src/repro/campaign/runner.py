@@ -207,7 +207,10 @@ class Campaign:
         manifest["totals"] = {
             "runs": len(entries), "ok": ok, "failed": failed,
             "cache_hits": cache_hits,
-            "wall_s": round(wall_s, 3), "compute_s": round(compute_s, 3),
+            # Same precision as the per-run duration_s entries (4 dp):
+            # rounding the total coarser than its constituents can make
+            # compute_s < max(duration_s), which reads as impossible.
+            "wall_s": round(wall_s, 3), "compute_s": round(compute_s, 4),
             "violations": sum(e.get("violations") or 0 for e in entries.values()),
         }
         self.store.save_manifest(manifest)

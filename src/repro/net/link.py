@@ -49,6 +49,10 @@ class Link:
         port_a.peer = port_b
         port_b.peer = port_a
         self.up = True
+        # wire_bytes -> serialization ns.  A link carries a handful of
+        # distinct frame sizes (MTU data, ACKs, pause frames), so the
+        # ceiling division runs once per size instead of once per frame.
+        self._ser_ns = {}
         # Optional fault-injection hook: ``fn(link, packet)`` returning
         # None (deliver normally), ``("drop", None)``, ``("corrupt", None)``
         # or ``("delay", extra_ns)``.  Installed by repro.faults; the link
@@ -78,7 +82,11 @@ class Link:
         serialization + propagation later (cut-through is not modelled;
         the paper's switches are store-and-forward shared-buffer parts).
         """
-        serialization_ns = serialization_delay_ns(packet.wire_bytes, self.rate_bps)
+        wire_bytes = packet.wire_bytes
+        serialization_ns = self._ser_ns.get(wire_bytes)
+        if serialization_ns is None:
+            serialization_ns = serialization_delay_ns(wire_bytes, self.rate_bps)
+            self._ser_ns[wire_bytes] = serialization_ns
         if not self.up:
             self.lost += 1
             return serialization_ns
@@ -112,9 +120,12 @@ class Link:
                     extra_delay_ns = int(arg)
                 else:
                     raise ValueError("unknown fault verdict: %r" % (verdict,))
-        destination = self.other(from_port)
+        # from_port.peer was wired by __init__; equivalent to
+        # self.other(from_port) without the identity checks.
         self.sim.schedule(
-            serialization_ns + self.delay_ns + extra_delay_ns, destination.deliver, packet
+            serialization_ns + self.delay_ns + extra_delay_ns,
+            from_port.peer.deliver,
+            packet,
         )
         self.delivered += 1
         return serialization_ns

@@ -76,9 +76,17 @@ class PortStats:
 class StrictPriorityScheduler:
     """Always serves the highest-numbered eligible priority first."""
 
+    __slots__ = ()
+
     def pick(self, port):
+        # Hot path (runs once per transmitted frame): read the port's
+        # queue/pause state directly rather than through the list-building
+        # ``queue_lengths`` property, and evaluate pause expiry inline.
+        queues = port._queues
+        paused_until = port._paused_until
+        now = port.sim.now
         for priority in range(N_PRIORITIES - 1, -1, -1):
-            if port.queue_lengths[priority] and not port.is_paused(priority):
+            if queues[priority] and paused_until[priority] <= now:
                 return priority
         return None
 
@@ -91,6 +99,8 @@ class DwrrScheduler:
     between the real-time class, the bulk class and the TCP class.
     """
 
+    __slots__ = ("_weights", "_quantum", "_deficits", "_topped_up", "_cursor")
+
     def __init__(self, weights=None, quantum_bytes=1600):
         self._weights = dict(weights or {})
         self._quantum = quantum_bytes
@@ -102,9 +112,13 @@ class DwrrScheduler:
         return self._weights.get(priority, 1)
 
     def pick(self, port):
+        queues = port._queues
+        paused_until = port._paused_until
+        now = port.sim.now
+        deficits = self._deficits
+        topped_up = self._topped_up
         if not any(
-            port.queue_lengths[p] and not port.is_paused(p)
-            for p in range(N_PRIORITIES)
+            queues[p] and paused_until[p] <= now for p in range(N_PRIORITIES)
         ):
             return None
         # Classic DWRR: stay on the cursor queue while its deficit covers
@@ -113,24 +127,24 @@ class DwrrScheduler:
         # deficit resets (it must not hoard credit while empty).
         for _ in range(64 * N_PRIORITIES):
             priority = self._cursor
-            eligible = port.queue_lengths[priority] and not port.is_paused(priority)
-            if eligible:
-                if not self._topped_up[priority]:
-                    self._deficits[priority] += self._quantum * self.weight(priority)
-                    self._topped_up[priority] = True
-                head_bytes = port.head_packet_bytes(priority)
-                if self._deficits[priority] >= head_bytes:
-                    self._deficits[priority] -= head_bytes
+            queue = queues[priority]
+            if queue and paused_until[priority] <= now:
+                if not topped_up[priority]:
+                    deficits[priority] += self._quantum * self.weight(priority)
+                    topped_up[priority] = True
+                head_bytes = queue[0].packet.size_bytes
+                if deficits[priority] >= head_bytes:
+                    deficits[priority] -= head_bytes
                     return priority
             else:
-                self._deficits[priority] = 0
-            self._topped_up[priority] = False
+                deficits[priority] = 0
+            topped_up[priority] = False
             self._cursor = (self._cursor + 1) % N_PRIORITIES
         # Unreachable for sane quanta; serve any eligible queue rather
         # than stall the port.
         for priority in range(N_PRIORITIES):
-            if port.queue_lengths[priority] and not port.is_paused(priority):
-                self._deficits[priority] = 0
+            if queues[priority] and paused_until[priority] <= now:
+                deficits[priority] = 0
                 return priority
         return None
 
@@ -163,6 +177,30 @@ class Port:
     paused they sit in the queue holding buffer.
     """
 
+    __slots__ = (
+        "sim",
+        "device",
+        "index",
+        "name",
+        "link",
+        "peer",
+        "drop_flood_at_head",
+        "scheduler",
+        "stats",
+        "on_dequeue",
+        "is_server_facing",
+        "vlan_port_mode",
+        "frozen",
+        "_queues",
+        "_queue_bytes",
+        "_control_queue",
+        "_paused_until",
+        "_busy",
+        "_total_packets",
+        "_total_bytes",
+        "_wake_timer",
+    )
+
     def __init__(self, sim, device, index, name=None, drop_flood_at_head=False):
         self.sim = sim
         self.device = device
@@ -174,12 +212,20 @@ class Port:
         self.scheduler = StrictPriorityScheduler()
         self.stats = PortStats()
         self.on_dequeue = None
+        # Set by Switch.add_server_port / add_uplink_port; the defaults
+        # describe a plain (host-side) interface.
+        self.is_server_facing = False
+        self.vlan_port_mode = None
 
         self._queues = [collections.deque() for _ in range(N_PRIORITIES)]
         self._queue_bytes = [0] * N_PRIORITIES
         self._control_queue = collections.deque()
         self._paused_until = [0] * N_PRIORITIES
         self._busy = False
+        # Running totals across all data queues, maintained by
+        # enqueue/_try_send so the hot accessors below are O(1).
+        self._total_packets = 0
+        self._total_bytes = 0
         self._wake_timer = Timer(sim, self._try_send, name="%s.wake" % self.name)
         # When True, egress transmission is administratively frozen (used
         # to model a dead device still holding the link).
@@ -203,11 +249,11 @@ class Port:
 
     @property
     def total_queued_bytes(self):
-        return sum(self._queue_bytes)
+        return self._total_bytes
 
     @property
     def total_queued_packets(self):
-        return sum(len(q) for q in self._queues)
+        return self._total_packets
 
     def iter_entries(self):
         """Yield ``(priority, packet, meta, enqueued_ns)`` for every queued
@@ -229,7 +275,11 @@ class Port:
 
     @property
     def any_paused(self):
-        return any(self.is_paused(p) for p in range(N_PRIORITIES))
+        now = self.sim.now
+        for deadline in self._paused_until:
+            if deadline > now:
+                return True
+        return False
 
     def pause_remaining_ns(self, priority):
         """Nanoseconds of pause left for ``priority`` (0 if unpaused)."""
@@ -241,8 +291,11 @@ class Port:
         """Queue a data frame at ``priority``; kicks the transmitter."""
         if not 0 <= priority < N_PRIORITIES:
             raise ValueError("priority out of range: %r" % (priority,))
+        nbytes = packet.size_bytes
         self._queues[priority].append(_QueueEntry(packet, meta, self.sim.now))
-        self._queue_bytes[priority] += packet.size_bytes
+        self._queue_bytes[priority] += nbytes
+        self._total_packets += 1
+        self._total_bytes += nbytes
         self._try_send()
 
     def enqueue_control(self, packet):
@@ -299,13 +352,24 @@ class Port:
         """
         stats = self.stats
         now = self.sim.now
-        if stats._paused_since is not None:
-            end = min(now, max(self._paused_until))
-            if end > stats._paused_since:
-                stats.paused_ns += end - stats._paused_since
-            stats._paused_since = now if self.any_paused else None
-        elif self.any_paused:
-            stats._paused_since = now
+        paused_until = self._paused_until
+        since = stats._paused_since
+        if since is None:
+            # Fast path (the common case: port was not in a pause
+            # interval): open one only if some priority is paused now.
+            for deadline in paused_until:
+                if deadline > now:
+                    stats._paused_since = now
+                    return
+            return
+        end = min(now, max(paused_until))
+        if end > since:
+            stats.paused_ns += end - since
+        for deadline in paused_until:
+            if deadline > now:
+                stats._paused_since = now
+                return
+        stats._paused_since = None
 
     def paused_interval_ns(self):
         """Cumulative time this port spent paused (the section 5.2
@@ -318,13 +382,17 @@ class Port:
     def _arm_wake(self):
         """Schedule a transmit attempt at the earliest pause expiry among
         non-empty queues (if any)."""
-        deadlines = [
-            self._paused_until[p]
-            for p in range(N_PRIORITIES)
-            if self._queues[p] and self._paused_until[p] > self.sim.now
-        ]
-        if deadlines:
-            self._wake_timer.start_at(min(deadlines))
+        now = self.sim.now
+        queues = self._queues
+        paused_until = self._paused_until
+        earliest = None
+        for priority in range(N_PRIORITIES):
+            deadline = paused_until[priority]
+            if deadline > now and queues[priority]:
+                if earliest is None or deadline < earliest:
+                    earliest = deadline
+        if earliest is not None:
+            self._wake_timer.start_at(earliest)
 
     def _try_send(self):
         if self._busy or self.link is None or self.frozen:
@@ -342,12 +410,15 @@ class Port:
                 self._sync_pause_accounting()
                 return
             entry = self._queues[priority].popleft()
-            self._queue_bytes[priority] -= entry.packet.size_bytes
+            nbytes = entry.packet.size_bytes
+            self._queue_bytes[priority] -= nbytes
+            self._total_packets -= 1
+            self._total_bytes -= nbytes
             meta = entry.meta
             if (
                 self.drop_flood_at_head
                 and meta is not None
-                and getattr(meta, "flood_copy", False)
+                and meta.flood_copy
             ):
                 # Drop at head of queue (paper section 4.2): frees buffer
                 # only now, after having occupied it the whole wait.
@@ -365,14 +436,15 @@ class Port:
 
     def _transmit(self, packet, priority):
         self._busy = True
-        if packet.is_pause:
+        stats = self.stats
+        if packet.pause is not None:
             if packet.pause.paused_priorities:
-                self.stats.pause_tx += 1
+                stats.pause_tx += 1
             else:
-                self.stats.resume_tx += 1
+                stats.resume_tx += 1
         elif priority is not None:
-            self.stats.tx_packets[priority] += 1
-            self.stats.tx_bytes[priority] += packet.size_bytes
+            stats.tx_packets[priority] += 1
+            stats.tx_bytes[priority] += packet.size_bytes
         serialization_ns = self.link.transmit(self, packet)
         self.sim.schedule(serialization_ns, self._tx_complete)
 

@@ -169,10 +169,12 @@ class Nic(Device):
 
     @property
     def rx_pipeline_broken(self):
+        """True while :meth:`break_rx_pipeline` is in effect."""
         return self._pipeline_broken
 
     @property
     def rx_occupancy_bytes(self):
+        """Bytes currently held in the receive buffer."""
         return self._rx_bytes
 
     def audit_rx_accounting(self):
@@ -184,6 +186,13 @@ class Nic(Device):
     # -- receive path ------------------------------------------------------------
 
     def handle_packet(self, port, packet):
+        """Device entry point for every frame arriving from the ToR.
+
+        Pause frames update the port's pause state; data frames for this
+        MAC (or broadcast) are admitted to the finite receive buffer --
+        crossing XOFF makes the NIC pause its ToR (the §4.4 slow-receiver
+        mechanism) -- and drained by the receive pipeline, which pays any
+        MTT stall before handing the packet to the host's dispatcher."""
         if self._dead:
             self.stats.rx_dropped_dead += 1
             return
@@ -341,6 +350,7 @@ class Nic(Device):
         self._pump_tx()
 
     def unregister_source(self, source):
+        """Remove a previously registered packet source (no-op if absent)."""
         if source in self._sources:
             self._sources.remove(source)
 

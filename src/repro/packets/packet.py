@@ -18,6 +18,7 @@ import itertools
 from repro.packets.ethernet import (
     ETH_FCS_BYTES,
     ETH_HEADER_BYTES,
+    ETH_WIRE_OVERHEAD_BYTES,
     ETHERTYPE_ARP,
     ETHERTYPE_IPV4,
     ETHERTYPE_MAC_CONTROL,
@@ -57,7 +58,7 @@ class Packet:
         "uid",
         "dst_mac",
         "src_mac",
-        "vlan",
+        "_vlan",
         "ip",
         "udp",
         "tcp",
@@ -69,6 +70,8 @@ class Packet:
         "created_ns",
         "flow",
         "context",
+        "_size",
+        "_ftuple",
     )
 
     def __init__(
@@ -91,7 +94,7 @@ class Packet:
         self.uid = next(_uid_counter)
         self.dst_mac = dst_mac
         self.src_mac = src_mac
-        self.vlan = vlan
+        self._vlan = vlan
         self.ip = ip
         self.udp = udp
         self.tcp = tcp
@@ -105,6 +108,22 @@ class Packet:
         # Free-form slot for transports to stash per-packet state (e.g. the
         # message a segment belongs to); never read by switches.
         self.context = context
+        # Lazily computed caches.  A packet's layers are immutable after
+        # construction except for dst_mac (MAC rewrite, size-irrelevant)
+        # and vlan (tag strip -- the vlan setter invalidates the size).
+        self._size = None
+        self._ftuple = None
+
+    @property
+    def vlan(self):
+        """The 802.1Q tag, or None.  Settable: switches strip the tag when
+        forwarding out an untagged (access/server-facing) port."""
+        return self._vlan
+
+    @vlan.setter
+    def vlan(self, tag):
+        self._vlan = tag
+        self._size = None
 
     # -- factories ----------------------------------------------------------
 
@@ -198,42 +217,61 @@ class Packet:
 
     @property
     def five_tuple(self):
-        """(src_ip, dst_ip, protocol, src_port, dst_port) for ECMP hashing."""
-        if self.ip is None:
+        """(src_ip, dst_ip, protocol, src_port, dst_port) for ECMP hashing.
+
+        Computed once per packet -- ECMP re-hashes it at every Clos tier.
+        """
+        ftuple = self._ftuple
+        if ftuple is not None:
+            return ftuple
+        ip = self.ip
+        if ip is None:
             return None
         if self.udp is not None:
-            return (self.ip.src, self.ip.dst, IPPROTO_UDP, self.udp.src_port, self.udp.dst_port)
-        if self.tcp is not None:
-            return (self.ip.src, self.ip.dst, IPPROTO_TCP, self.tcp.src_port, self.tcp.dst_port)
-        return (self.ip.src, self.ip.dst, self.ip.protocol, 0, 0)
+            ftuple = (ip.src, ip.dst, IPPROTO_UDP, self.udp.src_port, self.udp.dst_port)
+        elif self.tcp is not None:
+            ftuple = (ip.src, ip.dst, IPPROTO_TCP, self.tcp.src_port, self.tcp.dst_port)
+        else:
+            ftuple = (ip.src, ip.dst, ip.protocol, 0, 0)
+        self._ftuple = ftuple
+        return ftuple
 
     @property
     def size_bytes(self):
-        """Full buffered frame size derived from the populated layers."""
+        """Full buffered frame size derived from the populated layers.
+
+        Computed once and cached -- every buffer admit, scheduler pick and
+        link serialization reads it, several times per hop.  The cache is
+        invalidated when (only) the VLAN tag changes.
+        """
+        size = self._size
+        if size is not None:
+            return size
         size = ETH_HEADER_BYTES + ETH_FCS_BYTES
-        if self.vlan is not None:
+        if self._vlan is not None:
             size += VLAN_TAG_BYTES
         if self.pause is not None:
-            return size + self.pause.size_bytes
-        if self.arp is not None:
-            return size + self.arp.size_bytes
-        if self.ip is not None:
-            size += IPV4_HEADER_BYTES
-            if self.udp is not None:
-                size += UDP_HEADER_BYTES
-                if self.bth is not None:
-                    size += BTH_BYTES + ICRC_BYTES
-                    if self.aeth is not None:
-                        size += AETH_BYTES
-            elif self.tcp is not None:
-                size += TCP_HEADER_BYTES
-        return size + self.payload_bytes
+            size += self.pause.size_bytes
+        elif self.arp is not None:
+            size += self.arp.size_bytes
+        else:
+            if self.ip is not None:
+                size += IPV4_HEADER_BYTES
+                if self.udp is not None:
+                    size += UDP_HEADER_BYTES
+                    if self.bth is not None:
+                        size += BTH_BYTES + ICRC_BYTES
+                        if self.aeth is not None:
+                            size += AETH_BYTES
+                elif self.tcp is not None:
+                    size += TCP_HEADER_BYTES
+            size += self.payload_bytes
+        self._size = size
+        return size
 
     @property
     def wire_bytes(self):
         """Frame size as clocked on the wire (adds preamble + SFD + IPG)."""
-        from repro.packets.ethernet import ETH_WIRE_OVERHEAD_BYTES
-
         return self.size_bytes + ETH_WIRE_OVERHEAD_BYTES
 
     def __repr__(self):
@@ -285,3 +323,36 @@ def resolve_priority(packet, mode, dscp_to_priority=None, default_priority=0):
             return dscp % 8
         return default_priority
     raise ValueError("unknown priority mode: %r" % (mode,))
+
+
+def compile_priority_resolver(mode, dscp_to_priority=None, default_priority=0):
+    """Bake a classification policy into a fast ``fn(packet) -> priority``.
+
+    Semantically identical to calling :func:`resolve_priority` with the
+    same arguments, with the mode dispatch and table binding done once
+    instead of per packet.  Devices on the forwarding hot path compile
+    a resolver whenever their :class:`~repro.switch.pfc.PfcConfig`
+    changes (configs are replaced, never mutated, so object identity is
+    a sound cache key).
+
+    Unlike :func:`resolve_priority`, the compiled function does *not*
+    reject pause frames -- callers classify only data packets, having
+    already branched on ``packet.is_pause``.
+    """
+    if mode == PriorityMode.VLAN:
+        def classify(packet):
+            vlan = packet._vlan
+            return default_priority if vlan is None else vlan.pcp
+    elif mode == PriorityMode.DSCP:
+        if dscp_to_priority is None:
+            def classify(packet):
+                ip = packet.ip
+                return default_priority if ip is None else ip.dscp % 8
+        else:
+            lookup = dscp_to_priority.get
+            def classify(packet):
+                ip = packet.ip
+                return default_priority if ip is None else lookup(ip.dscp, default_priority)
+    else:
+        raise ValueError("unknown priority mode: %r" % (mode,))
+    return classify

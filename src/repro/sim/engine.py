@@ -8,6 +8,22 @@ increasing sequence number), which keeps runs fully deterministic.
 The engine is intentionally tiny -- everything else in the reproduction
 (links, switches, NICs, transports) is expressed as plain objects that
 schedule callbacks on a shared ``Simulator``.
+
+Performance notes (this is the hottest code in the repository -- every
+simulated packet costs several engine events):
+
+* The heap stores ``(time, seq, event)`` tuples, not :class:`Event`
+  objects, so ``heapq`` compares machine integers in C instead of calling
+  a Python ``__lt__``.  ``seq`` is unique, so the event object itself is
+  never compared and ordering is exactly (time, FIFO) -- identical to the
+  old object heap, as the determinism fingerprints in
+  ``benchmarks/BASELINE.json`` assert.
+* The dispatch loops hoist attribute and global lookups into locals.
+  Callbacks observe a consistent ``sim.now`` / ``sim.events_fired``
+  because both are written back before each callback runs.
+* Heap compaction rewrites ``self._queue`` **in place** (slice
+  assignment) so the dispatch loop's local reference stays valid when a
+  callback's ``schedule()`` triggers compaction mid-run.
 """
 
 import heapq
@@ -50,6 +66,8 @@ class Event:
             self.sim = None
 
     def __lt__(self, other):
+        # Heap entries are (time, seq, event) tuples with unique seq, so
+        # the heap never invokes this; kept for direct Event comparisons.
         if self.time != other.time:
             return self.time < other.time
         return self.seq < other.seq
@@ -60,7 +78,16 @@ class Event:
 
 
 class Simulator:
-    """A deterministic discrete-event simulator with a nanosecond clock."""
+    """A deterministic discrete-event simulator with a nanosecond clock.
+
+    Public surface:
+
+    * :meth:`at` / :meth:`schedule` / :meth:`call_soon` -- queue a callback
+      (absolute time, relative delay, or the current instant) and get back
+      a cancellable :class:`Event`;
+    * :meth:`run` / :meth:`run_until_idle` / :meth:`step` -- dispatch;
+    * :attr:`now`, :attr:`events_fired`, :attr:`pending` -- observability.
+    """
 
     # Every schedule/step touches these fields; slots make the accesses
     # (and the per-run footprint) measurably cheaper on event-heavy runs.
@@ -75,7 +102,7 @@ class Simulator:
     def __init__(self):
         self._now = 0
         self._seq = 0
-        self._queue = []
+        self._queue = []  # heap of (time, seq, Event)
         self._running = False
         self._events_fired = 0
         self._cancelled = 0  # cancelled events still sitting in the heap
@@ -100,48 +127,66 @@ class Simulator:
 
         Filtering preserves the (time, seq) ordering of live events, so a
         re-heapify cannot change firing order -- compaction is invisible
-        to the simulation.
+        to the simulation.  The list object is mutated in place because
+        an in-progress :meth:`run` holds a direct reference to it.
         """
-        self._queue = [event for event in self._queue if not event.cancelled]
+        self._queue[:] = [entry for entry in self._queue if not entry[2].cancelled]
         heapq.heapify(self._queue)
         self._cancelled = 0
 
     def at(self, time, fn, *args):
         """Schedule ``fn(*args)`` at absolute simulated ``time``.
 
-        ``time`` must not be in the past.  Returns the :class:`Event` so the
-        caller can cancel it.
+        ``time`` must not be in the past (raises :class:`SimulationError`).
+        Returns the :class:`Event` so the caller can cancel it.
         """
+        time = int(time)
         if time < self._now:
             raise SimulationError(
                 "cannot schedule event at t=%d; clock is already at t=%d"
                 % (time, self._now)
             )
-        if (
-            self._cancelled >= self._COMPACT_MIN_CANCELLED
-            and self._cancelled * 2 >= len(self._queue)
-        ):
+        cancelled = self._cancelled
+        if cancelled >= 64 and cancelled * 2 >= len(self._queue):
             self._compact()
-        event = Event(int(time), self._seq, fn, args, self)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, fn, args, self)
+        heapq.heappush(self._queue, (time, seq, event))
         return event
 
     def schedule(self, delay, fn, *args):
-        """Schedule ``fn(*args)`` ``delay`` nanoseconds from now."""
+        """Schedule ``fn(*args)`` ``delay`` nanoseconds from now.
+
+        ``delay`` must be non-negative.  Returns the :class:`Event`.
+        """
         if delay < 0:
             raise SimulationError("delay cannot be negative: %r" % (delay,))
-        return self.at(self._now + int(delay), fn, *args)
+        # Inlined body of at(): this is the single most-called method in
+        # the simulator (several calls per packet), and a non-negative
+        # delay cannot produce a past timestamp, so the validation there
+        # is redundant.
+        time = self._now + int(delay)
+        cancelled = self._cancelled
+        if cancelled >= 64 and cancelled * 2 >= len(self._queue):
+            self._compact()
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, fn, args, self)
+        heapq.heappush(self._queue, (time, seq, event))
+        return event
 
     def call_soon(self, fn, *args):
         """Schedule ``fn(*args)`` at the current instant (after pending
-        same-time events already in the queue)."""
+        same-time events already in the queue).  Returns the Event."""
         return self.at(self._now, fn, *args)
 
     def step(self):
         """Fire the single next event.  Returns False if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        heappop = heapq.heappop
+        while queue:
+            event = heappop(queue)[2]
             if event.cancelled:
                 self._cancelled -= 1
                 continue
@@ -175,20 +220,28 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         fired = 0
+        # Hot loop: locals for everything that does not change identity.
+        # self._queue is only ever mutated in place (heappush/_compact),
+        # so the local alias stays valid across callbacks.
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while self._queue:
+            while queue:
                 if max_events is not None and fired >= max_events:
                     break
-                event = self._queue[0]
+                entry = queue[0]
+                event = entry[2]
                 if event.cancelled:
-                    heapq.heappop(self._queue)
+                    heappop(queue)
                     self._cancelled -= 1
                     continue
-                if until is not None and event.time > until:
+                time = entry[0]
+                if until is not None and time > until:
                     break
-                heapq.heappop(self._queue)
-                self._now = event.time
-                fn, args = event.fn, event.args
+                heappop(queue)
+                self._now = time
+                fn = event.fn
+                args = event.args
                 event.fn = None
                 event.args = None
                 event.sim = None
@@ -202,7 +255,9 @@ class Simulator:
         return fired
 
     def run_until_idle(self, max_events=None):
-        """Run until no events remain (or ``max_events`` is hit)."""
+        """Run until no events remain (or ``max_events`` is hit).
+
+        Returns the number of events fired by this call."""
         return self.run(until=None, max_events=max_events)
 
     def __repr__(self):

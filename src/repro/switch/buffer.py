@@ -196,13 +196,31 @@ class SharedBuffer:
         headroom exhaustion drops it (a *violation*: with correctly sized
         headroom this never happens, and tests assert it doesn't).
         """
-        state = self.pg(port_idx, priority)
-        guaranteed = self.config.guaranteed_per_pg_bytes
-        within_guaranteed = state.occupancy + nbytes <= guaranteed
-        over_threshold = (
-            not within_guaranteed
-            and state.shared_occupancy(guaranteed) + nbytes > self.threshold()
-        )
+        # Hot path: every forwarded packet passes through here once.  The
+        # config object is read afresh on every call -- fault injection
+        # (``drift_buffer_alpha``) swaps scalar values under us and the
+        # next admit must already see them, so nothing here may be cached
+        # across calls.
+        state = self._pgs.get((port_idx, priority))
+        if state is None:
+            state = self.pg(port_idx, priority)
+        config = self.config
+        guaranteed = config.guaranteed_per_pg_bytes
+        occupancy = state.occupancy
+        if occupancy + nbytes <= guaranteed:
+            over_threshold = False
+        else:
+            shared_occ = occupancy - guaranteed
+            if shared_occ < 0:
+                shared_occ = 0
+            alpha = config.alpha
+            if alpha is not None:
+                threshold = int(alpha * (self.shared_size - self.shared_in_use))
+                if threshold < 0:
+                    threshold = 0
+            else:
+                threshold = config.xoff_static_bytes
+            over_threshold = shared_occ + nbytes > threshold
         if not over_threshold:
             self._charge(state, nbytes)
             return True
@@ -210,7 +228,7 @@ class SharedBuffer:
             self.lossy_drops += 1
             return False
         # Lossless and over threshold: spill into this PG's headroom.
-        if state.headroom_used + nbytes > self.config.headroom_per_pg_bytes:
+        if state.headroom_used + nbytes > config.headroom_per_pg_bytes:
             self.headroom_overflow_drops += 1
             return False
         state.headroom_used += nbytes
@@ -231,22 +249,87 @@ class SharedBuffer:
         Headroom usage is drained first (LIFO relative to admission order
         does not matter for totals).
         """
-        state = self.pg(port_idx, priority)
-        from_headroom = min(state.headroom_used, nbytes)
-        state.headroom_used -= from_headroom
-        remainder = nbytes - from_headroom
-        if remainder > state.occupancy:
+        state = self._pgs.get((port_idx, priority))
+        if state is None:
+            state = self.pg(port_idx, priority)
+        headroom = state.headroom_used
+        if headroom:
+            from_headroom = headroom if headroom < nbytes else nbytes
+            state.headroom_used = headroom - from_headroom
+            remainder = nbytes - from_headroom
+        else:
+            remainder = nbytes
+        occupancy = state.occupancy
+        if remainder > occupancy:
             raise RuntimeError(
                 "buffer release underflow at pg(%d, %d): %d > %d"
-                % (port_idx, priority, remainder, state.occupancy)
+                % (port_idx, priority, remainder, occupancy)
             )
         guaranteed = self.config.guaranteed_per_pg_bytes
-        before = max(0, state.occupancy - guaranteed)
-        state.occupancy -= remainder
-        after = max(0, state.occupancy - guaranteed)
+        before = occupancy - guaranteed
+        if before < 0:
+            before = 0
+        occupancy -= remainder
+        state.occupancy = occupancy
+        after = occupancy - guaranteed
+        if after < 0:
+            after = 0
         self.shared_in_use -= before - after
 
     # -- pause decisions -----------------------------------------------------
+
+    def evaluate_pause(self, port_idx, priority):
+        """Combined pause decision for one PG in a single pass.
+
+        Returns ``1`` (assert pause), ``-1`` (release pause) or ``0`` (no
+        change) -- semantically ``should_pause`` / ``should_resume``
+        folded together so the per-event PFC evaluation does one PG
+        lookup and one threshold computation instead of up to two each.
+        Thresholds are read from the live config (see :meth:`admit`).
+        """
+        state = self._pgs.get((port_idx, priority))
+        if state is None:
+            state = self.pg(port_idx, priority)
+        return self.evaluate_pause_state(state)
+
+    def evaluate_pause_state(self, state):
+        """:meth:`evaluate_pause` for a caller already holding the
+        :class:`PgState` (PG objects live as long as the buffer, so
+        signalers cache them to skip the per-event dict lookup)."""
+        if not state.paused:
+            if state.headroom_used > 0:
+                return 1
+            config = self.config
+            guaranteed = config.guaranteed_per_pg_bytes
+            shared_occ = state.occupancy - guaranteed
+            if shared_occ < 0:
+                shared_occ = 0
+            alpha = config.alpha
+            if alpha is not None:
+                threshold = int(alpha * (self.shared_size - self.shared_in_use))
+                if threshold < 0:
+                    threshold = 0
+            else:
+                threshold = config.xoff_static_bytes
+            return 1 if shared_occ > threshold else 0
+        if state.headroom_used > 0:
+            return 0
+        config = self.config
+        guaranteed = config.guaranteed_per_pg_bytes
+        shared_occ = state.occupancy - guaranteed
+        if shared_occ < 0:
+            shared_occ = 0
+        alpha = config.alpha
+        if alpha is not None:
+            threshold = int(alpha * (self.shared_size - self.shared_in_use))
+            if threshold < 0:
+                threshold = 0
+        else:
+            threshold = config.xoff_static_bytes
+        xon = threshold - config.xon_delta_bytes
+        if xon < 0:
+            xon = 0
+        return -1 if shared_occ <= xon else 0
 
     def should_pause(self, port_idx, priority):
         """True when the PG is above XOFF and not already paused."""

@@ -70,20 +70,25 @@ class AgingTable:
 class Route:
     """One L3 route: ``prefix/prefix_len`` -> a set of next-hop ports."""
 
-    __slots__ = ("prefix", "prefix_len", "ports")
+    __slots__ = ("prefix", "prefix_len", "mask", "ports", "decision")
 
     def __init__(self, prefix, prefix_len, ports):
         if not 0 <= prefix_len <= 32:
             raise ValueError("bad prefix length: %r" % (prefix_len,))
         if not ports:
             raise ValueError("route needs at least one next-hop port")
-        mask = _mask(prefix_len)
-        self.prefix = prefix & mask
+        self.mask = _mask(prefix_len)
+        self.prefix = prefix & self.mask
         self.prefix_len = prefix_len
         self.ports = list(ports)
+        # A route's FORWARD outcome never varies per packet; build it once
+        # so the per-packet lookup allocates nothing.
+        self.decision = ForwardDecision(
+            ForwardDecision.FORWARD, self.ports, reason="l3-route"
+        )
 
     def matches(self, addr):
-        return (addr & _mask(self.prefix_len)) == self.prefix
+        return (addr & self.mask) == self.prefix
 
 
 def _mask(prefix_len):
@@ -131,10 +136,30 @@ class ForwardingTables:
     ):
         self.sim = sim
         self.local_subnet = local_subnet
+        # Precompute the local-subnet match (evaluated for every packet).
+        if local_subnet is not None:
+            prefix, prefix_len = local_subnet
+            self._local_mask = _mask(prefix_len)
+            self._local_prefix = prefix & self._local_mask
+        else:
+            self._local_mask = None
+            self._local_prefix = None
         self.arp_table = AgingTable(sim, arp_timeout_ns, "arp")
         self.mac_table = AgingTable(sim, mac_timeout_ns, "mac")
         self.routes = []
         self.drop_lossless_on_incomplete_arp = drop_lossless_on_incomplete_arp
+        # Reusable per-outcome decisions (one allocation per *state*, not
+        # per packet): L2 hits keyed by egress port, plus the constant
+        # flood/drop outcomes.
+        self._l2_decisions = {}
+        self._flood_decision = ForwardDecision(
+            ForwardDecision.FLOOD, reason="incomplete-arp"
+        )
+        self._drop_arp_miss = ForwardDecision(ForwardDecision.DROP, reason="arp-miss")
+        self._drop_incomplete = ForwardDecision(
+            ForwardDecision.DROP, reason="incomplete-arp-lossless"
+        )
+        self._drop_no_route = ForwardDecision(ForwardDecision.DROP, reason="no-route")
         # Counters.
         self.floods = 0
         self.arp_miss_drops = 0
@@ -159,10 +184,9 @@ class ForwardingTables:
 
     def is_local(self, addr):
         """True when ``addr`` is in the directly attached subnet."""
-        if self.local_subnet is None:
+        if self._local_mask is None:
             return False
-        prefix, prefix_len = self.local_subnet
-        return (addr & _mask(prefix_len)) == (prefix & _mask(prefix_len))
+        return (addr & self._local_mask) == self._local_prefix
 
     # -- lookup --------------------------------------------------------------
 
@@ -173,29 +197,31 @@ class ForwardingTables:
         selection is left to the switch (it knows the ingress port);
         this returns the *action* only.
         """
-        if self.is_local(dst_ip):
+        if self._local_mask is not None and (dst_ip & self._local_mask) == self._local_prefix:
             mac = self.arp_table.lookup(dst_ip)
             if mac is None:
                 self.arp_miss_drops += 1
-                return ForwardDecision(ForwardDecision.DROP, reason="arp-miss")
+                return self._drop_arp_miss
             port = self.mac_table.lookup(mac)
             if port is not None:
-                return ForwardDecision(ForwardDecision.FORWARD, [port], reason="l2-hit")
+                decision = self._l2_decisions.get(port)
+                if decision is None:
+                    decision = ForwardDecision(
+                        ForwardDecision.FORWARD, [port], reason="l2-hit"
+                    )
+                    self._l2_decisions[port] = decision
+                return decision
             # Incomplete ARP entry: IP->MAC known, MAC->port unknown.
             if lossless and self.drop_lossless_on_incomplete_arp:
                 self.incomplete_arp_drops += 1
-                return ForwardDecision(
-                    ForwardDecision.DROP, reason="incomplete-arp-lossless"
-                )
+                return self._drop_incomplete
             self.floods += 1
-            return ForwardDecision(ForwardDecision.FLOOD, reason="incomplete-arp")
+            return self._flood_decision
         for route in self.routes:
-            if route.matches(dst_ip):
-                return ForwardDecision(
-                    ForwardDecision.FORWARD, route.ports, reason="l3-route"
-                )
+            if (dst_ip & route.mask) == route.prefix:
+                return route.decision
         self.no_route_drops += 1
-        return ForwardDecision(ForwardDecision.DROP, reason="no-route")
+        return self._drop_no_route
 
     def resolve_local_mac(self, dst_ip):
         """The ARP-resolved MAC for a local destination (None on miss)."""

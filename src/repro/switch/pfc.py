@@ -27,6 +27,16 @@ class PfcConfig:
         half this duration while congestion persists.
     """
 
+    __slots__ = (
+        "priority_mode",
+        "lossless_priorities",
+        "dscp_to_priority",
+        "default_priority",
+        "pause_quanta",
+        "enabled",
+        "vlan_pcp_preserved_across_l3",
+    )
+
     def __init__(
         self,
         priority_mode=PriorityMode.DSCP,
@@ -76,6 +86,18 @@ class PauseSignaler:
     control frames out of the *ingress* port (back toward the sender).
     """
 
+    __slots__ = (
+        "sim",
+        "switch",
+        "port",
+        "priority",
+        "_refresh",
+        "_buffer",
+        "_state",
+        "pauses_sent",
+        "resumes_sent",
+    )
+
     def __init__(self, sim, switch, port, priority):
         self.sim = sim
         self.switch = switch
@@ -84,21 +106,32 @@ class PauseSignaler:
         self._refresh = Timer(
             sim, self._on_refresh, name="%s.pfc%d" % (port.name, priority)
         )
+        # Cached (buffer, PgState) pair; re-resolved if the switch ever
+        # rebuilds its buffer.
+        self._buffer = None
+        self._state = None
         self.pauses_sent = 0
         self.resumes_sent = 0
 
     @property
     def _pg_state(self):
-        return self.switch.buffer.pg(self.port.index, self.priority)
+        buffer = self.switch.buffer
+        if buffer is not self._buffer:
+            self._buffer = buffer
+            self._state = buffer.pg(self.port.index, self.priority)
+        return self._state
 
     def evaluate(self):
         """Re-check buffer state; assert or release pause as needed."""
-        buffer = self.switch.buffer
-        if buffer.should_pause(self.port.index, self.priority):
-            self._pg_state.paused = True
+        # One combined buffer query (this runs on every lossless admit
+        # and release); equivalent to should_pause / elif should_resume.
+        state = self._pg_state
+        action = self._buffer.evaluate_pause_state(state)
+        if action > 0:
+            state.paused = True
             self._send_pause()
-        elif buffer.should_resume(self.port.index, self.priority):
-            self._pg_state.paused = False
+        elif action < 0:
+            state.paused = False
             self._refresh.cancel()
             self._send_resume()
 

@@ -21,7 +21,7 @@ Crossing XOFF sends pause out of the *ingress* port toward the sender.
 """
 
 from repro.packets.ip import IPV4_HEADER_BYTES
-from repro.packets.packet import Packet, resolve_priority
+from repro.packets.packet import Packet, compile_priority_resolver
 from repro.net.device import Device
 from repro.switch.buffer import BufferConfig, SharedBuffer
 from repro.switch.ecmp import ecmp_select
@@ -116,6 +116,39 @@ class Switch(Device):
         self._server_port_idxs = set()
         # Experiment hook: callable(packet) -> True to drop at ingress.
         self.ingress_drop_filter = None
+        # Per-config compiled classification caches.  pfc_config objects
+        # are replaced wholesale (deployment steps, fault injection),
+        # never mutated in place, so the caches key on object identity
+        # and recompile the moment a new config is installed.
+        self._classify_for = None
+        self._classify = None
+        self._lossless_set = frozenset()
+        # ECMP choice cache: (five_tuple, n_choices) -> index, valid for
+        # one seed (bench scenarios re-seed switches before booting).
+        self._ecmp_cache = {}
+        self._ecmp_cache_seed = None
+
+    def _classifier(self):
+        """The compiled ``packet -> priority`` function for the current
+        pfc_config (recompiled on config replacement)."""
+        pfc = self.pfc_config
+        if pfc is not self._classify_for:
+            self._classify = compile_priority_resolver(
+                pfc.priority_mode,
+                dscp_to_priority=pfc.dscp_to_priority,
+                default_priority=pfc.default_priority,
+            )
+            self._lossless_set = (
+                pfc.lossless_priorities if pfc.enabled else frozenset()
+            )
+            self._classify_for = pfc
+        return self._classify
+
+    def _lossless(self, priority):
+        """Live-config lossless check through the identity-keyed cache."""
+        if self.pfc_config is not self._classify_for:
+            self._classifier()
+        return priority in self._lossless_set
 
     # -- construction --------------------------------------------------------
 
@@ -180,6 +213,12 @@ class Switch(Device):
     # -- receive path --------------------------------------------------------
 
     def handle_packet(self, port, packet):
+        """Device entry point for every frame arriving on ``port``.
+
+        Dispatches pause frames to the port's pause state (unless the
+        storm watchdog disabled lossless on that port), ARP to the
+        forwarding tables, and data frames into the ingress pipeline
+        described in the module docstring."""
         if self.buffer is None:
             self.finalize()
         if packet.is_pause:
@@ -212,23 +251,24 @@ class Switch(Device):
 
     def _ingress_data(self, port, packet):
         self.counters.rx_packets += 1
-        mode = getattr(port, "vlan_port_mode", None)
-        if mode == "trunk" and packet.vlan is None:
-            # Trunk ports "can only send packets with VLAN tag" -- an
-            # untagged PXE-boot exchange dies right here (section 3).
-            self.counters.drops["vlan-port-mode"] += 1
-            return
-        if mode == "access" and packet.vlan is not None:
-            self.counters.drops["vlan-port-mode"] += 1
-            return
-        priority = resolve_priority(
-            packet,
-            self.pfc_config.priority_mode,
-            dscp_to_priority=self.pfc_config.dscp_to_priority,
-            default_priority=self.pfc_config.default_priority,
+        mode = port.vlan_port_mode
+        if mode is not None:
+            if mode == "trunk" and packet.vlan is None:
+                # Trunk ports "can only send packets with VLAN tag" -- an
+                # untagged PXE-boot exchange dies right here (section 3).
+                self.counters.drops["vlan-port-mode"] += 1
+                return
+            if mode == "access" and packet.vlan is not None:
+                self.counters.drops["vlan-port-mode"] += 1
+                return
+        classify = (
+            self._classify
+            if self.pfc_config is self._classify_for
+            else self._classifier()
         )
+        priority = classify(packet)
         port.record_rx(packet, priority)
-        lossless = self.pfc_config.is_lossless(priority)
+        lossless = priority in self._lossless_set
         if lossless and port.index in self._lossless_disabled_ports:
             # Storm watchdog: discard lossless packets *from* the NIC.
             self.counters.drops["watchdog-lossless"] += 1
@@ -236,14 +276,15 @@ class Switch(Device):
         if self.ingress_drop_filter is not None and self.ingress_drop_filter(packet):
             self.counters.drops["filter"] += 1
             return
-        if packet.ip is not None:
-            if packet.ip.ttl <= 1:
+        ip = packet.ip
+        if ip is not None:
+            if ip.ttl <= 1:
                 self.counters.drops["ttl"] += 1
                 return
-            packet.ip.ttl -= 1
-        if getattr(port, "is_server_facing", False):
+            ip.ttl -= 1
+        if port.is_server_facing:
             self.tables.learn_mac(packet.src_mac, port.index)
-        decision = self.tables.decide(packet.ip.dst if packet.ip else 0, lossless)
+        decision = self.tables.decide(ip.dst if ip is not None else 0, lossless)
         if decision.action == decision.DROP:
             self.counters.drops[decision.reason] = (
                 self.counters.drops.get(decision.reason, 0) + 1
@@ -258,8 +299,21 @@ class Switch(Device):
 
     def _forward(self, port, packet, priority, lossless, decision):
         ports = decision.ports
-        if len(ports) > 1:
-            choice = ecmp_select(packet.five_tuple, len(ports), self.ecmp_seed)
+        n_ports = len(ports)
+        if n_ports > 1:
+            # Flow-sticky by construction, so the (five_tuple, n) -> index
+            # mapping is memoizable; the CRC runs once per flow per path
+            # width instead of once per packet.
+            seed = self.ecmp_seed
+            cache = self._ecmp_cache
+            if seed != self._ecmp_cache_seed:
+                cache.clear()
+                self._ecmp_cache_seed = seed
+            key = (packet.five_tuple, n_ports)
+            choice = cache.get(key)
+            if choice is None:
+                choice = ecmp_select(key[0], n_ports, seed)
+                cache[key] = choice
             egress_idx = ports[choice]
         else:
             egress_idx = ports[0]
@@ -331,20 +385,21 @@ class Switch(Device):
         cap = self.buffer_config.lossy_egress_cap_bytes
         if (
             cap is not None
-            and not self.pfc_config.is_lossless(priority)
-            and egress.queued_bytes[priority] + packet.size_bytes > cap
+            and not self._lossless(priority)
+            and egress._queue_bytes[priority] + packet.size_bytes > cap
         ):
             self.counters.drops["egress-lossy"] += 1
             if meta is not None:
                 # Release this copy's share of the buffer claim.
                 self._on_port_dequeue(packet, meta, True)
             return
+        ecn = self.ecn_config
         if (
-            self.ecn_config.enabled
+            ecn.enabled
             and packet.ip is not None
             and packet.ip.ect_capable
             and self._mark_rng is not None
-            and self.ecn_config.should_mark(egress.queued_bytes[priority], self._mark_rng)
+            and ecn.should_mark(egress._queue_bytes[priority], self._mark_rng)
         ):
             packet.ip.mark_ce()
             self.counters.ecn_marked += 1
@@ -358,7 +413,7 @@ class Switch(Device):
         claim.refs -= 1
         if claim.refs == 0:
             self.buffer.release(claim.port_idx, claim.priority, claim.nbytes)
-            if self.pfc_config.is_lossless(claim.priority):
+            if self._lossless(claim.priority):
                 ingress = self.ports[claim.port_idx]
                 self._signaler(ingress, claim.priority).evaluate()
 
@@ -380,6 +435,7 @@ class Switch(Device):
         self._lossless_disabled_ports.discard(port.index)
 
     def lossless_disabled(self, port):
+        """True while the storm watchdog has lossless mode off on ``port``."""
         return port.index in self._lossless_disabled_ports
 
     # -- monitoring ------------------------------------------------------------
@@ -407,9 +463,11 @@ class Switch(Device):
         return sum(p.stats.pause_tx for p in self.ports)
 
     def pause_frames_received(self):
+        """Total pause frames received by this switch (all ports)."""
         return sum(p.stats.pause_rx for p in self.ports)
 
     def queued_bytes(self):
+        """Bytes currently queued across every egress port."""
         return sum(p.total_queued_bytes for p in self.ports)
 
 
