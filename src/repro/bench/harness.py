@@ -100,12 +100,18 @@ def run_benchmarks(names=None, seed=1, repeat=3, profile=False, progress=None):
             "paper_ref": scenario.paper_ref,
             "seed": seed,
             "events": run.events,
+            "dispatches": run.dispatches,
             "packets": run.packets,
             "sim_ns": run.sim_ns,
             "wall_s": round(best, 4),
             "wall_s_all": [round(w, 4) for w in walls],
             "events_per_sec": round(run.events / best, 1),
             "packets_per_sec": round(run.packets / best, 1) if run.packets else 0.0,
+            # Machine-independent cost: callbacks actually dispatched per
+            # delivered packet (0.0 for packet-free scenarios).
+            "events_per_packet": (
+                round(run.dispatches / run.packets, 4) if run.packets else 0.0
+            ),
             "fingerprint": run.fingerprint,
         }
         for key, value in run.detail.items():
@@ -139,11 +145,20 @@ def compare_to_baseline(scenarios, baseline):
         base = base_scenarios.get(name)
         if not base:
             continue
-        comparison[name] = {
+        row = {
             "baseline_events_per_sec": base["events_per_sec"],
             "speedup": round(entry["events_per_sec"] / base["events_per_sec"], 3),
             "fingerprint_match": entry["fingerprint"] == base["fingerprint"],
         }
+        base_epp = base.get("events_per_packet")
+        if base_epp:
+            row["baseline_events_per_packet"] = base_epp
+            # < 1.0 means the engine now dispatches fewer callbacks per
+            # delivered packet than the baseline did (machine-independent).
+            row["events_per_packet_ratio"] = round(
+                entry["events_per_packet"] / base_epp, 4
+            )
+        comparison[name] = row
     return comparison
 
 
@@ -194,7 +209,9 @@ def write_baseline(scenarios, path):
             name: {
                 "events_per_sec": entry["events_per_sec"],
                 "events": entry["events"],
+                "dispatches": entry["dispatches"],
                 "packets": entry["packets"],
+                "events_per_packet": entry["events_per_packet"],
                 "wall_s": entry["wall_s"],
                 "fingerprint": entry["fingerprint"],
             }

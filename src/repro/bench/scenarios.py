@@ -17,6 +17,7 @@ Scenarios are chosen to stress complementary parts of the packet path:
 ``incast_tor``            7-to-1 incast into one ToR, PFC pause/resume active
 ``pause_storm``           a broken NIC storms a 3-tier Clos; watchdogs confine
 ``clos_slice``            saturating cross-podset traffic on a 3-tier Clos
+``clos_pod``              one full podset (~4x clos_slice), same traffic shape
 ``tcp_baseline``          TCP incast with lossy-egress drops and recovery
 ========================  ====================================================
 
@@ -37,12 +38,21 @@ from repro.sim.units import KB, MB, MS, US
 
 
 class ScenarioRun:
-    """The outcome of one scenario execution (simulated side only)."""
+    """The outcome of one scenario execution (simulated side only).
 
-    __slots__ = ("events", "packets", "sim_ns", "fingerprint", "detail")
+    ``events`` is the logical event count (invariant under train
+    coalescing, so it participates in fingerprints); ``dispatches`` is
+    the number of callbacks the engine actually invoked -- the
+    machine-independent cost that ``events_per_packet`` is derived from.
+    """
 
-    def __init__(self, events, packets, sim_ns, fingerprint_tuple, detail=None):
+    __slots__ = ("events", "dispatches", "packets", "sim_ns", "fingerprint", "detail")
+
+    def __init__(
+        self, events, packets, sim_ns, fingerprint_tuple, dispatches=None, detail=None
+    ):
         self.events = events
+        self.dispatches = events if dispatches is None else dispatches
         self.packets = packets
         self.sim_ns = sim_ns
         self.fingerprint = digest(fingerprint_tuple)
@@ -123,6 +133,7 @@ def engine_churn(seed):
     sim.run_until_idle()
     return ScenarioRun(
         events=sim.events_fired,
+        dispatches=sim.dispatches,
         packets=0,
         sim_ns=sim.now,
         fingerprint_tuple=(sim.events_fired, sim.now),
@@ -148,6 +159,7 @@ def single_flow(seed):
     topo.sim.run(until=topo.sim.now + 25 * MS)
     return ScenarioRun(
         events=topo.sim.events_fired,
+        dispatches=topo.sim.dispatches,
         packets=_packets_delivered(topo.fabric),
         sim_ns=topo.sim.now,
         fingerprint_tuple=(
@@ -187,6 +199,7 @@ def incast_tor(seed):
     topo.sim.run(until=topo.sim.now + 5 * MS)
     return ScenarioRun(
         events=topo.sim.events_fired,
+        dispatches=topo.sim.dispatches,
         packets=_packets_delivered(topo.fabric),
         sim_ns=topo.sim.now,
         fingerprint_tuple=(
@@ -249,6 +262,7 @@ def pause_storm(seed):
     sim.run(until=sim.now + 6 * MS)
     return ScenarioRun(
         events=sim.events_fired,
+        dispatches=sim.dispatches,
         packets=_packets_delivered(topo.fabric),
         sim_ns=sim.now,
         fingerprint_tuple=(
@@ -292,6 +306,50 @@ def clos_slice(seed):
     total_bytes = sum(s.completed_bytes for s in senders)
     return ScenarioRun(
         events=sim.events_fired,
+        dispatches=sim.dispatches,
+        packets=_packets_delivered(topo.fabric),
+        sim_ns=sim.now,
+        fingerprint_tuple=(
+            sim.events_fired,
+            tuple(s.completed_bytes for s in senders),
+            topo.fabric.total_drops(),
+            _switch_counters(topo.fabric),
+            _link_counters(topo.fabric),
+        ),
+        detail={"aggregate_gbps": total_bytes * 8.0 / (sim.now - start)},
+    )
+
+
+def clos_pod(seed):
+    """One full podset of the paper's fabric at ~4x the clos_slice scale:
+    4 ToRs x 4 hosts per podset, 4 leaves, 4 spines — the scaling check
+    that the engine's per-event cost stays flat as the topology grows."""
+    from repro.topo import three_tier_clos
+    from repro.experiments.common import saturate_pairs
+
+    topo = _pin_ecmp_seeds(
+        three_tier_clos(
+            n_podsets=2,
+            tors_per_podset=4,
+            hosts_per_tor=4,
+            leaves_per_podset=4,
+            n_spines=4,
+            seed=seed,
+        )
+    ).boot()
+    sim = topo.sim
+    rng = SeededRng(seed, "bench/pod")
+    hosts = topo.hosts
+    half = len(hosts) // 2
+    pairs = [(hosts[i], hosts[half + i]) for i in range(half)]
+    pairs += [(hosts[half + i], hosts[i]) for i in range(half)]
+    senders = saturate_pairs(sim, pairs, 1 * MB, rng)
+    start = sim.now
+    sim.run(until=start + 2 * MS)
+    total_bytes = sum(s.completed_bytes for s in senders)
+    return ScenarioRun(
+        events=sim.events_fired,
+        dispatches=sim.dispatches,
         packets=_packets_delivered(topo.fabric),
         sim_ns=sim.now,
         fingerprint_tuple=(
@@ -330,6 +388,7 @@ def tcp_baseline(seed):
     topo.sim.run(until=topo.sim.now + 6 * MS)
     return ScenarioRun(
         events=topo.sim.events_fired,
+        dispatches=topo.sim.dispatches,
         packets=_packets_delivered(topo.fabric),
         sim_ns=topo.sim.now,
         fingerprint_tuple=(
@@ -375,6 +434,12 @@ SCENARIOS = {
             "saturating cross-podset Clos slice",
             "section 5.4 (figure 7 check)",
             clos_slice,
+        ),
+        BenchScenario(
+            "clos_pod",
+            "one full podset, saturating cross-podset pairs",
+            "section 3 fabric scale check",
+            clos_pod,
         ),
         BenchScenario(
             "tcp_baseline",

@@ -16,12 +16,14 @@ SCENARIO_FIELDS = {
     "paper_ref": str,
     "seed": int,
     "events": int,
+    "dispatches": int,
     "packets": int,
     "sim_ns": int,
     "wall_s": (int, float),
     "wall_s_all": list,
     "events_per_sec": (int, float),
     "packets_per_sec": (int, float),
+    "events_per_packet": (int, float),
     "fingerprint": str,
 }
 

@@ -55,6 +55,9 @@ class CounterCollector:
 
     @staticmethod
     def _switch_values(switch):
+        # tx stats are settled lazily while a departure train is in
+        # flight; book them before sampling raw per-port counters.
+        switch.settle_trains()
         return {
             "pause_tx": sum(p.stats.pause_tx for p in switch.ports),
             "pause_rx": sum(p.stats.pause_rx for p in switch.ports),

@@ -20,6 +20,12 @@ from repro.sim.units import propagation_delay_ns, serialization_delay_ns
 class Link:
     """Connects ``port_a`` and ``port_b`` bidirectionally."""
 
+    # rate_bps -> {wire_bytes -> serialization ns}, shared across every
+    # link of the same speed: a Clos fabric has hundreds of identical
+    # links carrying the same handful of frame sizes, so deriving the
+    # ceiling division per link wasted both time and memory.
+    _SER_CACHES = {}
+
     def __init__(
         self,
         sim,
@@ -39,7 +45,7 @@ class Link:
         self.sim = sim
         self.rate_bps = int(rate_bps)
         self.delay_ns = propagation_delay_ns(cable_meters) if delay_ns is None else int(delay_ns)
-        self.loss_rate = loss_rate
+        self._loss_rate = loss_rate
         self._loss_rng = loss_rng
         self.name = name or "%s<->%s" % (port_a.name, port_b.name)
         self.port_a = port_a
@@ -48,16 +54,27 @@ class Link:
         port_b.link = self
         port_a.peer = port_b
         port_b.peer = port_a
+        # Bound far-end deliver methods, cached so the per-frame schedule
+        # call skips two attribute hops.
+        port_a.peer_deliver = port_b.deliver
+        port_b.peer_deliver = port_a.deliver
+        # Departure trains only toward devices whose arrivals cannot
+        # interleave with shared ingress state (see
+        # Device.coalesced_delivery_ok).
+        if not port_b.device.coalesced_delivery_ok:
+            port_a.coalesce_ok = False
+        if not port_a.device.coalesced_delivery_ok:
+            port_b.coalesce_ok = False
         self.up = True
-        # wire_bytes -> serialization ns.  A link carries a handful of
-        # distinct frame sizes (MTU data, ACKs, pause frames), so the
-        # ceiling division runs once per size instead of once per frame.
-        self._ser_ns = {}
+        # wire_bytes -> serialization ns, shared per line rate.
+        self._ser_ns = Link._SER_CACHES.setdefault(self.rate_bps, {})
         # Optional fault-injection hook: ``fn(link, packet)`` returning
         # None (deliver normally), ``("drop", None)``, ``("corrupt", None)``
         # or ``("delay", extra_ns)``.  Installed by repro.faults; the link
-        # itself stays policy-free.
-        self.fault_hook = None
+        # itself stays policy-free.  A property: committed departure
+        # trains assume a clean link, so installing a hook (like raising
+        # loss_rate or set_down) interrupts them.
+        self._fault_hook = None
         # Counters.
         self.delivered = 0
         self.lost = 0
@@ -65,6 +82,43 @@ class Link:
         self.corrupted = 0
         self.reordered = 0
         self.flaps = 0
+
+    @property
+    def loss_rate(self):
+        return self._loss_rate
+
+    @loss_rate.setter
+    def loss_rate(self, value):
+        self._loss_rate = value
+        if value:
+            self._interrupt_trains()
+
+    @property
+    def fault_hook(self):
+        return self._fault_hook
+
+    @fault_hook.setter
+    def fault_hook(self, value):
+        self._fault_hook = value
+        if value is not None:
+            self._interrupt_trains()
+
+    def _interrupt_trains(self):
+        """Uncoalesce any committed departure train on either endpoint:
+        the train's precomputed deliveries assumed a clean, up link."""
+        for port in (self.port_a, self.port_b):
+            if port._train is not None:
+                port.device.settle_trains()
+                port._uncoalesce()
+
+    def ser_ns(self, wire_bytes):
+        """Serialization delay for ``wire_bytes`` at this line rate
+        (cached per rate)."""
+        serialization_ns = self._ser_ns.get(wire_bytes)
+        if serialization_ns is None:
+            serialization_ns = serialization_delay_ns(wire_bytes, self.rate_bps)
+            self._ser_ns[wire_bytes] = serialization_ns
+        return serialization_ns
 
     def other(self, port):
         """The port at the far end from ``port``."""
@@ -91,15 +145,15 @@ class Link:
             self.lost += 1
             return serialization_ns
         if (
-            self.loss_rate
+            self._loss_rate
             and not packet.is_pause
-            and self._loss_rng.random() < self.loss_rate
+            and self._loss_rng.random() < self._loss_rate
         ):
             self.lost += 1
             return serialization_ns
         extra_delay_ns = 0
-        if self.fault_hook is not None:
-            verdict = self.fault_hook(self, packet)
+        if self._fault_hook is not None:
+            verdict = self._fault_hook(self, packet)
             if verdict is not None:
                 kind, arg = verdict
                 if kind == "drop":
@@ -120,11 +174,12 @@ class Link:
                     extra_delay_ns = int(arg)
                 else:
                     raise ValueError("unknown fault verdict: %r" % (verdict,))
-        # from_port.peer was wired by __init__; equivalent to
-        # self.other(from_port) without the identity checks.
-        self.sim.schedule(
+        # from_port.peer_deliver was wired by __init__; equivalent to
+        # self.other(from_port).deliver without the identity checks.
+        # schedule1 draws the event from the engine's free-list.
+        self.sim.schedule1(
             serialization_ns + self.delay_ns + extra_delay_ns,
-            from_port.peer.deliver,
+            from_port.peer_deliver,
             packet,
         )
         self.delivered += 1
@@ -136,6 +191,7 @@ class Link:
         if self.up:
             self.flaps += 1
         self.up = False
+        self._interrupt_trains()
 
     def set_up(self):
         self.up = True

@@ -137,6 +137,10 @@ class Nic(Device):
         self._ip_id = 0
         self._tx_timer = Timer(sim, self._pump_tx, name="%s.tx" % name)
         self.port.on_dequeue = self._on_tx_dequeue
+        # NOTE: self.port.coalesce_ok stays False (the Port default): the
+        # NIC's tx pump reacts to every dequeue, so its egress must run
+        # per-frame.  Pre-bound rx completion for the pooled fast path.
+        self._rx_done_ref = self._rx_done
 
     # -- fault injection -------------------------------------------------------
 
@@ -229,7 +233,7 @@ class Nic(Device):
             self.stats.mtt_stall_ns += stall
             service_ns += stall
         self._rx_busy = True
-        self.sim.schedule(service_ns, self._rx_done)
+        self.sim.schedule0(service_ns, self._rx_done_ref)
 
     def _rx_done(self):
         self._rx_busy = False

@@ -17,12 +17,14 @@ class Timer:
 
     # One Timer per QP RTO / watchdog / pause expiry / DCQCN clock: this
     # is a per-event-source hot class, so keep it dict-free.
-    __slots__ = ("_sim", "_callback", "_event", "name")
+    __slots__ = ("_sim", "_callback", "_event", "_fire_ref", "name")
 
     def __init__(self, sim, callback, name=""):
         self._sim = sim
         self._callback = callback
         self._event = None
+        # Pre-bound so the hot start() path allocates nothing.
+        self._fire_ref = self._fire
         self.name = name
 
     @property
@@ -40,7 +42,10 @@ class Timer:
     def start(self, delay_ns):
         """Arm (or re-arm) the timer to fire ``delay_ns`` from now."""
         self.cancel()
-        self._event = self._sim.schedule(delay_ns, self._fire)
+        # schedule0 draws from the engine's event free-list; safe here
+        # because the timer drops its handle in _fire before the event
+        # object can be recycled.
+        self._event = self._sim.schedule0(delay_ns, self._fire_ref)
 
     def start_at(self, time_ns):
         """Arm (or re-arm) the timer to fire at absolute ``time_ns``."""

@@ -160,6 +160,11 @@ class SharedBuffer:
                 % (config.total_bytes, self.headroom_total)
             )
         self.shared_in_use = 0
+        # Aggregates consulted by the event-coalescing train gate: how
+        # many PGs currently assert pause, and total headroom bytes in
+        # use (either non-zero makes lazy settlement unsafe).
+        self.paused_pgs = 0
+        self.headroom_in_use = 0
         # Counters.
         self.lossy_drops = 0
         self.headroom_overflow_drops = 0
@@ -232,6 +237,7 @@ class SharedBuffer:
             self.headroom_overflow_drops += 1
             return False
         state.headroom_used += nbytes
+        self.headroom_in_use += nbytes
         return True
 
     def _charge(self, state, nbytes):
@@ -256,6 +262,7 @@ class SharedBuffer:
         if headroom:
             from_headroom = headroom if headroom < nbytes else nbytes
             state.headroom_used = headroom - from_headroom
+            self.headroom_in_use -= from_headroom
             remainder = nbytes - from_headroom
         else:
             remainder = nbytes

@@ -129,9 +129,15 @@ class PauseSignaler:
         action = self._buffer.evaluate_pause_state(state)
         if action > 0:
             state.paused = True
+            self._buffer.paused_pgs += 1
+            if self.switch._train_ports:
+                # Committed departure trains assume no PG is paused;
+                # fall back to per-frame scheduling before emitting.
+                self.switch._uncoalesce_trains()
             self._send_pause()
         elif action < 0:
             state.paused = False
+            self._buffer.paused_pgs -= 1
             self._refresh.cancel()
             self._send_resume()
 
@@ -167,4 +173,7 @@ class PauseSignaler:
     def stop(self):
         """Stop refreshing (watchdog disabled lossless on this port)."""
         self._refresh.cancel()
-        self._pg_state.paused = False
+        state = self._pg_state
+        if state.paused:
+            state.paused = False
+            self._buffer.paused_pgs -= 1

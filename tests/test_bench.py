@@ -11,10 +11,13 @@ Two jobs:
 2. **Report schema** -- ``BENCH_simulator.json`` must stay machine
    readable; CI consumes it, so a malformed report fails here first.
 
-The slow scenarios (``clos_slice``, ``pause_storm``) are exercised by
+The slowest scenarios (``clos_slice``, ``pause_storm``) are exercised by
 ``python -m repro.bench`` and CI's bench smoke job rather than here, to
 keep the tier-1 suite quick; their fingerprints are still pinned via the
-baseline comparison done by the CLI.
+baseline comparison done by the CLI.  ``clos_pod`` (the fabric-scale
+check) *is* pinned here despite its cost: it is the only scenario that
+exercises cross-podset ECMP over the full three-tier wheel/coalescing
+path, so drift in it must fail tier-1, not just CI.
 """
 
 import json
@@ -58,6 +61,18 @@ class TestFingerprintPinning:
         )
         assert run.events == recorded["events"]
         assert run.packets == recorded["packets"]
+
+    def test_clos_pod_matches_checked_in_baseline(self, baseline):
+        run = SCENARIOS["clos_pod"].run(seed=1)
+        recorded = baseline["scenarios"]["clos_pod"]
+        assert run.fingerprint == recorded["fingerprint"], (
+            "clos_pod drifted from the checked-in baseline -- timing-wheel "
+            "ordering or train coalescing changed simulation behavior"
+        )
+        assert run.events == recorded["events"]
+        assert run.packets == recorded["packets"]
+        # Coalescing may only elide dispatches, never add them.
+        assert run.dispatches <= run.events
 
     def test_baseline_covers_every_scenario(self, baseline):
         assert set(baseline["scenarios"]) == set(SCENARIOS)

@@ -1,0 +1,281 @@
+"""Equivalence suite: timing-wheel scheduler vs the reference heapq engine.
+
+The `Simulator` in `repro.sim.engine` replaced a single heapq with a
+hierarchical timing wheel (near-future buckets + overflow heap + a
+current-tick side heap).  The contract is that this is *invisible*: for
+any interleaving of schedule / at / cancel / run(until) / step calls --
+including callbacks that schedule into the tick currently being drained,
+delays that straddle the wheel window, and compaction boundaries -- the
+two implementations fire identical (time, seq) sequences and agree on
+``now``, ``events_fired`` and ``pending``.
+
+`ReferenceSimulator` below is a minimal transliteration of the seed
+heapq engine (lazy cancellation, FIFO tie-break by sequence number,
+inclusive ``run(until=...)`` horizon, clock advanced to the horizon when
+idle).
+"""
+
+import heapq
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+from repro.sim.engine import _WHEEL_BITS, _WHEEL_SLOTS, SimulationError
+
+# One wheel window in nanoseconds; delays beyond this take the overflow
+# heap and must migrate back into the wheel as the window advances.
+_WINDOW_NS = _WHEEL_SLOTS << _WHEEL_BITS
+
+
+class _RefEvent:
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time, seq, fn, args):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self):
+        if self.cancelled:
+            return
+        self.cancelled = True
+        self.fn = None
+        self.args = None
+
+
+class ReferenceSimulator:
+    """The seed engine: one heapq of (time, seq, event), lazy cancel."""
+
+    def __init__(self):
+        self._now = 0
+        self._seq = 0
+        self._queue = []
+        self._fired = 0
+
+    @property
+    def now(self):
+        return self._now
+
+    @property
+    def events_fired(self):
+        return self._fired
+
+    @property
+    def pending(self):
+        return sum(1 for entry in self._queue if not entry[2].cancelled)
+
+    def at(self, time, fn, *args):
+        time = int(time)
+        if time < self._now:
+            raise SimulationError("past")
+        event = _RefEvent(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, (event.time, event.seq, event))
+        return event
+
+    def schedule(self, delay, fn, *args):
+        if delay < 0:
+            raise SimulationError("negative")
+        return self.at(self._now + int(delay), fn, *args)
+
+    def step(self):
+        while self._queue:
+            _time, _seq, event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            fn, args = event.fn, event.args
+            event.fn = None
+            event.args = None
+            self._fired += 1
+            fn(*args)
+            return True
+        return False
+
+    def run(self, until=None, max_events=None):
+        fired = 0
+        while self._queue:
+            if max_events is not None and fired >= max_events:
+                break
+            time, _seq, event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            self._now = time
+            fn, args = event.fn, event.args
+            event.fn = None
+            event.args = None
+            self._fired += 1
+            fn(*args)
+            fired += 1
+        if until is not None and self._now < until:
+            self._now = until
+        return fired
+
+    def run_until_idle(self, max_events=None):
+        return self.run(until=None, max_events=max_events)
+
+
+class _EagerCompactionSimulator(Simulator):
+    """Wheel simulator that compacts after only a few cancels, so short
+    generated programs cross compaction boundaries many times."""
+
+    _COMPACT_MIN_CANCELLED = 4
+
+
+# A program is a list of ops applied identically to both engines.
+_OP = st.one_of(
+    # schedule(delay): delays up to 3 windows exercise slot wraparound,
+    # the overflow heap, and overflow->wheel migration.
+    st.tuples(st.just("sched"), st.integers(0, 3 * _WINDOW_NS)),
+    # at(now + offset)
+    st.tuples(st.just("at"), st.integers(0, 2 * _WINDOW_NS)),
+    # schedule a callback that, when fired, schedules another recorded
+    # event `chain_delay` later -- chain_delay 0 lands in the tick being
+    # drained (the side-heap merge path).
+    st.tuples(
+        st.just("chain"),
+        st.integers(0, _WINDOW_NS),
+        st.integers(0, 4000),
+    ),
+    # cancel the (idx % len)-th previously returned handle
+    st.tuples(st.just("cancel"), st.integers(0, 10**6)),
+    st.tuples(st.just("run"), st.integers(0, _WINDOW_NS)),
+    st.tuples(st.just("step"), st.just(0)),
+)
+
+
+def _apply_program(sim, ops):
+    """Run `ops` against `sim`; return the fired-event trace."""
+    trace = []
+    handles = []
+    tag = 0
+
+    def make_chain(chain_delay, chain_tag):
+        def fire():
+            trace.append((sim.now, "chain", chain_tag))
+            sim.schedule(chain_delay, trace.append, (sim.now, "link", chain_tag))
+
+        return fire
+
+    for op in ops:
+        kind = op[0]
+        if kind == "sched":
+            handles.append(sim.schedule(op[1], trace.append, (sim.now, "s", tag)))
+            tag += 1
+        elif kind == "at":
+            handles.append(sim.at(sim.now + op[1], trace.append, (sim.now, "a", tag)))
+            tag += 1
+        elif kind == "chain":
+            handles.append(sim.schedule(op[1], make_chain(op[2], tag)))
+            tag += 1
+        elif kind == "cancel":
+            if handles:
+                handles[op[1] % len(handles)].cancel()
+        elif kind == "run":
+            sim.run(until=sim.now + op[1])
+            trace.append(("ran", sim.now, sim.events_fired))
+        elif kind == "step":
+            sim.step()
+            trace.append(("stepped", sim.now, sim.events_fired))
+    sim.run_until_idle()
+    return trace
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=st.lists(_OP, min_size=1, max_size=50))
+def test_wheel_matches_heapq_reference(ops):
+    wheel = Simulator()
+    ref = ReferenceSimulator()
+    wheel_trace = _apply_program(wheel, ops)
+    ref_trace = _apply_program(ref, ops)
+    assert wheel_trace == ref_trace
+    assert wheel.now == ref.now
+    assert wheel.events_fired == ref.events_fired
+    assert wheel.pending == ref.pending == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=st.lists(_OP, min_size=1, max_size=50))
+def test_wheel_matches_reference_across_compaction_boundaries(ops):
+    # Same program, but the wheel compacts after 4 cancels instead of 64,
+    # so cancel-heavy interleavings hit compaction mid-flight.  Compaction
+    # must be invisible to ordering.
+    wheel = _EagerCompactionSimulator()
+    ref = ReferenceSimulator()
+    assert _apply_program(wheel, ops) == _apply_program(ref, ops)
+    assert (wheel.now, wheel.events_fired) == (ref.now, ref.events_fired)
+
+
+def test_pooled_fast_paths_keep_fifo_order():
+    # schedule1/schedule0 (free-listed events) must interleave with the
+    # public tuple path in strict FIFO order at equal times.
+    sim = Simulator()
+    order = []
+    sim.schedule(10, order.append, "tuple-0")
+    sim.schedule1(10, order.append, "single-1")
+    sim.schedule0(10, lambda: order.append("noarg-2"))
+    sim.schedule(10, order.append, "tuple-3")
+    sim.schedule1(5, order.append, "single-early")
+    sim.run_until_idle()
+    assert order == ["single-early", "tuple-0", "single-1", "noarg-2", "tuple-3"]
+
+
+def test_pooled_events_are_recycled():
+    sim = Simulator()
+    hits = []
+    first = sim.schedule1(1, hits.append, "a")
+    sim.run_until_idle()
+    second = sim.schedule1(1, hits.append, "b")
+    assert second is first  # drawn from the free-list
+    sim.run_until_idle()
+    assert hits == ["a", "b"]
+
+
+def test_pooled_event_cancel_before_fire():
+    sim = Simulator()
+    hits = []
+    event = sim.schedule1(50, hits.append, "never")
+    sim.schedule(10, event.cancel)
+    sim.run_until_idle()
+    assert hits == []
+    assert sim.pending == 0
+
+
+def test_far_future_event_fires_after_window_migration():
+    sim = Simulator()
+    hits = []
+    # > one window out: parked in the overflow heap, must migrate into
+    # the wheel and fire at the exact requested time.
+    sim.schedule(5 * _WINDOW_NS + 37, hits.append, None)
+    sim.run_until_idle()
+    assert hits == [None]
+    assert sim.now == 5 * _WINDOW_NS + 37
+
+
+def test_horizon_break_then_near_past_schedule():
+    # Regression guard: breaking at a run(until=...) horizon must not
+    # advance the tick cursor past events scheduled later at times before
+    # the first queued event (they'd land "behind" the cursor and vanish).
+    sim = Simulator()
+    hits = []
+    sim.schedule(100 * (1 << _WHEEL_BITS), hits.append, "far")
+    sim.run(until=10)
+    sim.schedule(5, hits.append, "near")
+    sim.run_until_idle()
+    assert hits == ["near", "far"]
+
+
+def test_past_schedule_still_rejected():
+    sim = Simulator()
+    sim.schedule(50, lambda: None)
+    sim.run_until_idle()
+    with pytest.raises(SimulationError):
+        sim.at(10, lambda: None)
