@@ -1,8 +1,9 @@
 """The campaign target registry.
 
 Every entry of the experiments catalogue
-(:data:`repro.experiments.catalog.CATALOG` -- E1..E11 and the A1..A7
-ablation sweeps) is a campaign target out of the box.  Other code (a
+(:data:`repro.experiments.catalog.CATALOG` -- E1..E11, the A1..A7
+ablation sweeps, and the V1 differential validation sweep) is a
+campaign target out of the box.  Other code (a
 test, a study script) can register additional targets at runtime with
 :func:`register`, or a sweep spec can bypass the registry entirely by
 naming a runner ``ref`` inline.

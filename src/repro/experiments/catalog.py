@@ -87,6 +87,12 @@ CATALOG = {
         _entry("A5", "run_routing_models", "ablation: ECMP vs per-packet spraying"),
         _entry("A6", "run_interdc_distance", "ablation: PFC headroom vs distance"),
         _entry("A7", "run_tcp_flavours", "ablation: TCP class flavour, Reno vs DCTCP"),
+        CatalogEntry(
+            "V1",
+            "run_validation_sweep",
+            "differential validation sweep: packet sim vs flow-level oracles",
+            ref="repro.validation.harness:run_validation_sweep",
+        ),
     )
 }
 

@@ -22,6 +22,22 @@ from repro.packets.pause import N_PRIORITIES
 from repro.sim.timer import Timer
 from repro.sim.units import MS, US, fmt_time
 
+#: Invariants that must hold in *every* run, pathological or not:
+#: accounting identities whose violation always means a simulator bug.
+CONSERVATION_INVARIANTS = (
+    "buffer-conservation",
+    "nic-rx-conservation",
+    "psn-monotonic",
+)
+
+#: Liveness bounds: a deadlocked or pause-stormed fabric legitimately
+#: trips these -- pathology experiments use them as detectors, while
+#: benign runs (the validation sweep) require them clean.
+LIVENESS_INVARIANTS = (
+    "pause-bounded",
+    "lossless-queue-age",
+)
+
 
 class InvariantViolation(AssertionError):
     """A runtime invariant failed while the auditors were in raise mode."""
@@ -348,6 +364,13 @@ class AuditorRegistry:
 
     def violations_for(self, invariant):
         return [v for v in self.violations if v.invariant == invariant]
+
+    def violations_in_class(self, invariants):
+        """Violations whose invariant is in ``invariants`` (e.g. the
+        :data:`CONSERVATION_INVARIANTS` vs :data:`LIVENESS_INVARIANTS`
+        split the validation oracles judge separately)."""
+        wanted = set(invariants)
+        return [v for v in self.violations if v.invariant in wanted]
 
     def tripped_invariants(self):
         """Names of invariants with at least one violation, first-trip order."""

@@ -18,8 +18,21 @@ def max_min_allocation(link_capacities, flow_paths):
         One iterable of link-ids per flow.
 
     Returns a list of per-flow rates in the same order.
+
+    Raises :class:`ValueError` for an empty capacity map (with flows to
+    place) or a non-positive capacity, and :class:`KeyError` when a path
+    references an unknown link -- garbage capacities would otherwise
+    surface as silently wrong allocations deep inside a sweep.
     """
     remaining = dict(link_capacities)
+    for link, capacity in remaining.items():
+        if not capacity > 0:
+            raise ValueError(
+                "link %r has non-positive capacity %r" % (link, capacity)
+            )
+    flow_paths = [list(path) for path in flow_paths]
+    if not remaining and any(flow_paths):
+        raise ValueError("no link capacities given, but flows have paths")
     flows_on_link = {link: set() for link in remaining}
     for idx, path in enumerate(flow_paths):
         for link in path:

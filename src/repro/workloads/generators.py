@@ -23,6 +23,7 @@ class ClosedLoopSender:
         self.latencies_ns = []
         self._posted = 0
         self._started = False
+        self._stopped = False
 
     def start(self):
         self._started = True
@@ -30,7 +31,22 @@ class ClosedLoopSender:
             self._post_next()
         return self
 
+    def stop(self):
+        """Stop posting new messages; in-flight messages still complete.
+
+        Afterwards the loop quiesces once ``completed_messages`` catches
+        up with ``posted_messages`` -- the drain condition the
+        validation harness waits on."""
+        self._stopped = True
+        return self
+
+    @property
+    def posted_messages(self):
+        return self._posted
+
     def _post_next(self):
+        if self._stopped:
+            return
         if self.max_messages is not None and self._posted >= self.max_messages:
             return
         self._posted += 1

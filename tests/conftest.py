@@ -1,0 +1,30 @@
+"""Suite-wide test configuration.
+
+Registers two Hypothesis profiles:
+
+* ``default`` -- Hypothesis defaults, used for local development (keeps
+  example databases, allows randomized exploration).
+* ``ci`` -- derandomized and database-free, selected automatically when
+  the ``CI`` environment variable is set (or explicitly via
+  ``HYPOTHESIS_PROFILE=ci``).  CI runs must be reproducible: a property
+  failure on a pull request has to fail the same way on re-run and on
+  the next push, never flake away behind a fresh random seed.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile("default", settings())
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    database=None,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+
+settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "ci" if os.environ.get("CI") else "default")
+)

@@ -31,18 +31,9 @@ from repro.switch.buffer import BufferConfig
 from repro.switch.pfc import PfcConfig
 from repro.topo import deadlock_quad, single_switch
 from repro.workloads import ClosedLoopSender, RdmaChannel
+from tests.strategies import drive_incast as _incast
 
 pytestmark = pytest.mark.faults
-
-
-def _incast(topo, n_senders, rng, message_bytes=256 * KB, config=None):
-    """Saturating senders from hosts[1..n] into hosts[0]."""
-    victim = topo.hosts[0]
-    for src in topo.hosts[1 : 1 + n_senders]:
-        config_a = config or QpConfig()
-        config_b = config or QpConfig()
-        qp, _ = connect_qp_pair(src, victim, rng, config_a=config_a, config_b=config_b)
-        ClosedLoopSender(RdmaChannel(qp), message_bytes).start()
 
 
 # --- injector mechanisms ------------------------------------------------------

@@ -9,7 +9,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.faults import FaultPlan, install_default_auditors
+from repro.faults import install_default_auditors
 from repro.packets.arp import ArpPacket
 from repro.packets.ethernet import VlanTag, mac_from_str, mac_to_str
 from repro.packets.ip import Ipv4Header, checksum16, ip_from_str, ip_to_str
@@ -34,6 +34,13 @@ from repro.sim import Simulator
 from repro.sim.units import GBPS, serialization_delay_ns
 from repro.switch.buffer import BufferConfig, SharedBuffer
 from repro.switch.ecmp import ecmp_select
+from tests.strategies import (
+    buffer_ops,
+    drive_incast,
+    fault_plans,
+    maxmin_problems,
+    two_tier_dims,
+)
 
 # --- wire formats ------------------------------------------------------------
 
@@ -184,17 +191,7 @@ def test_ecmp_select_in_range_and_deterministic(tup, n, seed):
 
 
 @settings(max_examples=50, deadline=None)
-@given(
-    ops=st.lists(
-        st.tuples(
-            st.integers(0, 3),  # port
-            st.sampled_from([0, 3]),  # priority (3 lossless)
-            st.integers(64, 9000),  # bytes
-        ),
-        min_size=1,
-        max_size=200,
-    )
-)
+@given(ops=buffer_ops(n_ports=4, priorities=(0, 3)))
 def test_buffer_admit_release_conserves(ops):
     buffer = SharedBuffer(
         BufferConfig(alpha=None, xoff_static_bytes=64 * 1024),
@@ -232,19 +229,9 @@ def test_dynamic_threshold_never_negative_and_monotone(sizes, alpha):
 
 
 @settings(max_examples=50, deadline=None)
-@given(
-    n_links=st.integers(1, 6),
-    n_flows=st.integers(1, 20),
-    data=st.data(),
-)
-def test_maxmin_is_feasible_and_positive(n_links, n_flows, data):
-    links = {i: data.draw(st.integers(1, 100)) for i in range(n_links)}
-    paths = [
-        data.draw(
-            st.lists(st.integers(0, n_links - 1), min_size=1, max_size=n_links, unique=True)
-        )
-        for _ in range(n_flows)
-    ]
+@given(problem=maxmin_problems())
+def test_maxmin_is_feasible_and_positive(problem):
+    links, paths = problem
     rates = max_min_allocation(links, paths)
     assert all(rate > 0 for rate in rates)
     loads = link_utilization(links, paths, rates)
@@ -259,43 +246,51 @@ def test_maxmin_single_link_is_equal_split(n_flows, capacity):
     assert all(abs(rate - capacity / n_flows) < 1e-9 for rate in rates)
 
 
+def test_maxmin_rejects_nonpositive_capacities():
+    with pytest.raises(ValueError, match="non-positive capacity"):
+        max_min_allocation({"l": 0}, [["l"]])
+    with pytest.raises(ValueError, match="non-positive capacity"):
+        max_min_allocation({"l": -5.0}, [["l"]])
+
+
+def test_maxmin_rejects_empty_capacity_map_with_routed_flows():
+    with pytest.raises(ValueError, match="no link capacities"):
+        max_min_allocation({}, [["l"]])
+
+
+def test_maxmin_rejects_unknown_links_with_flow_index():
+    with pytest.raises(KeyError, match="flow 1 uses unknown link"):
+        max_min_allocation({"l": 1.0}, [["l"], ["m"]])
+
+
+def test_maxmin_degenerate_inputs_still_allocate():
+    # No flows at all, and flows with empty paths, are fine.
+    assert max_min_allocation({}, []) == []
+    assert max_min_allocation({"l": 1.0}, [[]]) == [0.0]
+
+
 # --- fault injection / invariant auditors ----------------------------------------
 
 
 def _drive_incast(topo, seed, message_bytes=64 * 1024):
-    from repro.rdma import connect_qp_pair
     from repro.sim import SeededRng
-    from repro.workloads import ClosedLoopSender, RdmaChannel
 
-    hosts = topo.fabric.hosts
-    if len(hosts) < 2:
-        return
-    rng = SeededRng(seed, "prop-traffic")
-    for src in hosts[1:3]:
-        qp, _ = connect_qp_pair(src, hosts[0], rng)
-        ClosedLoopSender(RdmaChannel(qp), message_bytes).start()
+    drive_incast(
+        topo, 2, SeededRng(seed, "prop-traffic"), message_bytes=message_bytes
+    )
 
 
 @pytest.mark.faults
 @settings(max_examples=8, deadline=None)
-@given(
-    n_tors=st.integers(1, 2),
-    hosts_per_tor=st.integers(1, 3),
-    n_leaves=st.integers(1, 2),
-    seed=st.integers(0, 10_000),
-)
-def test_random_clos_under_load_never_trips_auditors_fault_free(
-    n_tors, hosts_per_tor, n_leaves, seed
-):
+@given(dims=two_tier_dims(), seed=st.integers(0, 10_000))
+def test_random_clos_under_load_never_trips_auditors_fault_free(dims, seed):
     # The auditors must never cry wolf: any well-formed topology running
     # ordinary congestion (no faults at all) stays violation-free.  Runs
     # in raise mode so the first false positive explains itself.
     from repro.sim.units import MS
     from repro.topo import two_tier
 
-    topo = two_tier(
-        n_tors=n_tors, hosts_per_tor=hosts_per_tor, n_leaves=n_leaves, seed=seed
-    ).boot()
+    topo = two_tier(seed=seed, **dims).boot()
     registry = install_default_auditors(topo.fabric, mode="raise").start()
     _drive_incast(topo, seed)
     topo.sim.run(until=topo.sim.now + 2 * MS)
@@ -320,38 +315,9 @@ def test_buffer_accounting_survives_random_fault_plans(data):
     fabric = topo.fabric
     registry = install_default_auditors(fabric).start()
 
-    plan = FaultPlan("random", seed=seed)
-    n_links = len(fabric.links)
-    for i in range(data.draw(st.integers(1, 4), label="n_faults")):
-        link = data.draw(st.integers(0, n_links - 1), label="link%d" % i)
-        kind = data.draw(
-            st.sampled_from(["flap", "drop", "corrupt", "reorder"]),
-            label="kind%d" % i,
-        )
-        if kind == "flap":
-            plan.flap_link(
-                link,
-                at_ns=data.draw(st.integers(150_000, 2_000_000), label="at%d" % i),
-                down_ns=data.draw(st.integers(10_000, 400_000), label="down%d" % i),
-            )
-        elif kind == "drop":
-            plan.drop(
-                link,
-                probability=data.draw(st.floats(0.001, 0.05), label="p%d" % i),
-                match="data",
-            )
-        elif kind == "corrupt":
-            plan.corrupt(
-                link,
-                probability=data.draw(st.floats(0.001, 0.05), label="p%d" % i),
-                match="data",
-            )
-        else:
-            plan.reorder(
-                link,
-                delay_ns=data.draw(st.integers(500, 20_000), label="d%d" % i),
-                probability=data.draw(st.floats(0.01, 0.2), label="p%d" % i),
-            )
+    plan = data.draw(
+        fault_plans(n_links=len(fabric.links), seed=seed), label="plan"
+    )
     plan.apply(fabric)
     _drive_incast(topo, seed)
     topo.sim.run(until=topo.sim.now + 3 * MS)

@@ -19,14 +19,12 @@ import heapq
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.sim import Simulator
-from repro.sim.engine import _WHEEL_BITS, _WHEEL_SLOTS, SimulationError
-
-# One wheel window in nanoseconds; delays beyond this take the overflow
-# heap and must migrate back into the wheel as the window advances.
-_WINDOW_NS = _WHEEL_SLOTS << _WHEEL_BITS
+from repro.sim.engine import _WHEEL_BITS, SimulationError
+from tests.strategies import WINDOW_NS as _WINDOW_NS
+from tests.strategies import apply_sim_program as _apply_program
+from tests.strategies import sim_programs
 
 
 class _RefEvent:
@@ -130,67 +128,13 @@ class _EagerCompactionSimulator(Simulator):
     _COMPACT_MIN_CANCELLED = 4
 
 
-# A program is a list of ops applied identically to both engines.
-_OP = st.one_of(
-    # schedule(delay): delays up to 3 windows exercise slot wraparound,
-    # the overflow heap, and overflow->wheel migration.
-    st.tuples(st.just("sched"), st.integers(0, 3 * _WINDOW_NS)),
-    # at(now + offset)
-    st.tuples(st.just("at"), st.integers(0, 2 * _WINDOW_NS)),
-    # schedule a callback that, when fired, schedules another recorded
-    # event `chain_delay` later -- chain_delay 0 lands in the tick being
-    # drained (the side-heap merge path).
-    st.tuples(
-        st.just("chain"),
-        st.integers(0, _WINDOW_NS),
-        st.integers(0, 4000),
-    ),
-    # cancel the (idx % len)-th previously returned handle
-    st.tuples(st.just("cancel"), st.integers(0, 10**6)),
-    st.tuples(st.just("run"), st.integers(0, _WINDOW_NS)),
-    st.tuples(st.just("step"), st.just(0)),
-)
-
-
-def _apply_program(sim, ops):
-    """Run `ops` against `sim`; return the fired-event trace."""
-    trace = []
-    handles = []
-    tag = 0
-
-    def make_chain(chain_delay, chain_tag):
-        def fire():
-            trace.append((sim.now, "chain", chain_tag))
-            sim.schedule(chain_delay, trace.append, (sim.now, "link", chain_tag))
-
-        return fire
-
-    for op in ops:
-        kind = op[0]
-        if kind == "sched":
-            handles.append(sim.schedule(op[1], trace.append, (sim.now, "s", tag)))
-            tag += 1
-        elif kind == "at":
-            handles.append(sim.at(sim.now + op[1], trace.append, (sim.now, "a", tag)))
-            tag += 1
-        elif kind == "chain":
-            handles.append(sim.schedule(op[1], make_chain(op[2], tag)))
-            tag += 1
-        elif kind == "cancel":
-            if handles:
-                handles[op[1] % len(handles)].cancel()
-        elif kind == "run":
-            sim.run(until=sim.now + op[1])
-            trace.append(("ran", sim.now, sim.events_fired))
-        elif kind == "step":
-            sim.step()
-            trace.append(("stepped", sim.now, sim.events_fired))
-    sim.run_until_idle()
-    return trace
+# Programs (lists of scheduler ops) and the trace applier are shared
+# with the rest of the suite via tests.strategies: sim_programs /
+# apply_sim_program.
 
 
 @settings(max_examples=200, deadline=None)
-@given(ops=st.lists(_OP, min_size=1, max_size=50))
+@given(ops=sim_programs())
 def test_wheel_matches_heapq_reference(ops):
     wheel = Simulator()
     ref = ReferenceSimulator()
@@ -203,7 +147,7 @@ def test_wheel_matches_heapq_reference(ops):
 
 
 @settings(max_examples=100, deadline=None)
-@given(ops=st.lists(_OP, min_size=1, max_size=50))
+@given(ops=sim_programs())
 def test_wheel_matches_reference_across_compaction_boundaries(ops):
     # Same program, but the wheel compacts after 4 cancels instead of 64,
     # so cancel-heavy interleavings hit compaction mid-flight.  Compaction

@@ -1,0 +1,208 @@
+"""Uncoalesce paths of the departure-train gate (net/port.py).
+
+A committed train is a promise that nothing perturbs the departure
+schedule until it ends.  These tests break the promise in every way the
+port allows mid-train -- a PFC pause arriving on the train's priority, a
+higher-priority enqueue, the storm watchdog tripping, an administrative
+freeze -- and check both the immediate mechanics (train aborted, booked
+frames stand, the wire frame's completion re-armed) and the end state:
+model counters must match a run with coalescing disabled outright.
+"""
+
+import pytest
+
+from repro.faults import install_default_auditors
+from repro.faults.invariants import CONSERVATION_INVARIANTS
+from repro.packets import Ipv4Header, Packet, PfcPauseFrame, TcpHeader
+from repro.sim import SeededRng
+from repro.sim.units import KB, MS
+from repro.topo import single_switch
+from tests.strategies import drive_incast
+
+#: The lossless class RDMA traffic rides on (QpConfig default).
+RDMA_PRIORITY = 3
+
+
+def _boot(seed=3, n_hosts=3, coalesce=True):
+    topo = single_switch(n_hosts=n_hosts, seed=seed).boot()
+    topo.sim.coalesce_enabled = coalesce
+    drive_incast(topo, n_hosts - 1, SeededRng(seed, "train"), message_bytes=128 * KB)
+    return topo
+
+
+def _port_to(topo, host):
+    """The ToR egress port facing ``host``'s NIC (the only ports that
+    may coalesce: links toward NICs keep ``coalesce_ok`` on)."""
+    for port in topo.tor.ports:
+        if port.peer is not None and port.peer.device is host.nic:
+            return port
+    raise AssertionError("no ToR port faces %s" % host.name)
+
+
+def _run_until_train(topo, port, deadline_ns=4 * MS):
+    """Single-step the simulation until ``port`` has a committed train."""
+    sim = topo.sim
+    while sim.now < deadline_ns:
+        if port._train is not None:
+            return True
+        if not sim.step():
+            break
+    return False
+
+
+def _tcp_packet(payload=256):
+    ip = Ipv4Header(src=1, dst=2, protocol=6, dscp=0)
+    tcp = TcpHeader(src_port=1000, dst_port=80)
+    return Packet.tcp_segment(
+        dst_mac=2, src_mac=1, ip=ip, tcp=tcp, payload_bytes=payload
+    )
+
+
+def _model_digest(topo):
+    """Counters any coalescing bug would smear: per-port tx totals, PFC
+    activity, and the logical event count (elisions credited)."""
+    tor = topo.tor
+    return (
+        tuple(p.stats.total_tx_packets for p in tor.ports),
+        tuple(p.stats.total_tx_bytes for p in tor.ports),
+        tuple(p.stats.pause_rx for p in tor.ports),
+        tor.pause_frames_sent(),
+        tuple(h.nic.stats.pause_generated for h in topo.hosts),
+        topo.sim.events_fired,
+    )
+
+
+def _queue_accounting_exact(port):
+    assert port.total_queued_packets == sum(port.queue_lengths)
+    assert port.total_queued_bytes == sum(port.queued_bytes)
+
+
+def test_incast_commits_a_train_on_the_server_facing_port():
+    topo = _boot()
+    port = _port_to(topo, topo.hosts[0])
+    assert _run_until_train(topo, port)
+    train = port._train
+    assert train.priority == RDMA_PRIORITY
+    assert len(train.entries) >= 2
+    # Frame 0 departs at commit time and is booked synchronously.
+    assert train.settle_idx >= 1
+
+
+def test_pause_arrival_on_train_priority_uncoalesces():
+    topo = _boot()
+    port = _port_to(topo, topo.hosts[0])
+    assert _run_until_train(topo, port)
+    settled_before = port._train.settle_idx
+    tx_before = port.stats.tx_packets[RDMA_PRIORITY]
+    port.receive_pause(PfcPauseFrame({RDMA_PRIORITY: 500}))
+    assert port._train is None
+    assert port.is_paused(RDMA_PRIORITY)
+    # Booked frames stand; nothing was double-booked or clawed back.
+    assert port.stats.tx_packets[RDMA_PRIORITY] >= max(tx_before, settled_before)
+    _queue_accounting_exact(port)
+    # The wire frame's completion was re-armed: after the pause expires
+    # the port keeps transmitting without a fresh kick.
+    topo.sim.run(until=topo.sim.now + 2 * MS)
+    assert port.stats.tx_packets[RDMA_PRIORITY] > tx_before + 1
+
+
+def test_pause_on_other_priority_leaves_train_committed():
+    topo = _boot()
+    port = _port_to(topo, topo.hosts[0])
+    assert _run_until_train(topo, port)
+    port.receive_pause(PfcPauseFrame({RDMA_PRIORITY + 1: 500}))
+    assert port._train is not None
+
+
+def test_pause_mid_train_matches_uncoalesced_run_exactly():
+    # Find a train commit time on the coalescing run...
+    probe = _boot()
+    probe_port = _port_to(probe, probe.hosts[0])
+    assert _run_until_train(probe, probe_port)
+    pause_at = probe.sim.now + 1  # strictly after the commit dispatch
+
+    # ...then inject the same pause at the same instant into two fresh
+    # runs, coalescing on and off.  Every model counter must agree: an
+    # uncoalesce that books a frame early/late or loses a delivery event
+    # shows up here.
+    def run(coalesce):
+        topo = _boot(coalesce=coalesce)
+        port = _port_to(topo, topo.hosts[0])
+        topo.sim.at(
+            pause_at, port.receive_pause, PfcPauseFrame({RDMA_PRIORITY: 500})
+        )
+        topo.sim.run(until=3 * MS)
+        return _model_digest(topo)
+
+    assert run(coalesce=True) == run(coalesce=False)
+
+
+def test_higher_priority_enqueue_mid_train_uncoalesces_and_preempts():
+    topo = _boot()
+    port = _port_to(topo, topo.hosts[0])
+    assert _run_until_train(topo, port)
+    high = RDMA_PRIORITY + 2
+    port.enqueue(_tcp_packet(), priority=high, meta=None)
+    assert port._train is None
+    _queue_accounting_exact(port)
+    topo.sim.run(until=topo.sim.now + 1 * MS)
+    # Strict priority served the interloper ahead of the old train tail.
+    assert port.stats.tx_packets[high] == 1
+
+
+def test_equal_or_lower_priority_enqueue_keeps_train():
+    topo = _boot()
+    port = _port_to(topo, topo.hosts[0])
+    assert _run_until_train(topo, port)
+    port.enqueue(_tcp_packet(), priority=0, meta=None)
+    assert port._train is not None
+
+
+def test_watchdog_trip_mid_train_uncoalesces_and_disables_lossless():
+    topo = _boot()
+    tor = topo.tor
+    port = _port_to(topo, topo.hosts[0])
+    registry = install_default_auditors(topo.fabric).start()
+    assert _run_until_train(topo, port)
+    # The storm watchdog's trip action (switch.on_watchdog_trip) must
+    # first abort every committed train on the switch, then drop the
+    # port out of lossless mode.
+    tor.on_watchdog_trip(port)
+    assert port._train is None
+    assert tor.lossless_disabled(port)
+    assert not port.any_paused  # force_resume_all cleared pause state
+    _queue_accounting_exact(port)
+    topo.sim.run(until=topo.sim.now + 2 * MS)
+    # Lossless traffic to the quarantined NIC is discarded, counted...
+    assert tor.counters.drops["watchdog-lossless"] > 0
+    # ...and buffer/byte conservation survives the mid-train abort.
+    registry.audit_now()
+    assert not registry.violations_in_class(CONSERVATION_INVARIANTS)
+
+
+def test_freeze_mid_train_uncoalesces_and_halts_egress():
+    topo = _boot()
+    port = _port_to(topo, topo.hosts[0])
+    assert _run_until_train(topo, port)
+    port.frozen = True
+    assert port._train is None
+    _queue_accounting_exact(port)
+    # The wire frame finishes serializing, then egress stays dark.
+    topo.sim.run(until=topo.sim.now + 1 * MS)
+    tx_frozen = port.stats.total_tx_packets
+    topo.sim.run(until=topo.sim.now + 1 * MS)
+    assert port.stats.total_tx_packets == tx_frozen
+    assert port.total_queued_packets > 0
+
+
+def test_control_frame_enqueue_mid_train_uncoalesces():
+    topo = _boot()
+    port = _port_to(topo, topo.hosts[0])
+    assert _run_until_train(topo, port)
+    resume_tx = port.stats.resume_tx
+    port.enqueue_control(
+        Packet.pfc_pause(dst_mac=0, src_mac=0, pause=PfcPauseFrame({RDMA_PRIORITY: 0}))
+    )
+    assert port._train is None
+    topo.sim.run(until=topo.sim.now + 1 * MS)
+    assert port.stats.resume_tx == resume_tx + 1
