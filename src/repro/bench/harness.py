@@ -35,6 +35,8 @@ _SUBSYSTEM_BUCKETS = (
     ("repro/tcp/", "tcp"),
     ("repro/dcqcn/", "cc"),
     ("repro/timely/", "cc"),
+    ("repro/flowsim/", "flowsim"),
+    ("repro/flows/", "flowsim"),
     ("repro/", "other-repro"),
 )
 

@@ -19,7 +19,16 @@ Scenarios are chosen to stress complementary parts of the packet path:
 ``clos_slice``            saturating cross-podset traffic on a 3-tier Clos
 ``clos_pod``              one full podset (~4x clos_slice), same traffic shape
 ``tcp_baseline``          TCP incast with lossy-egress drops and recovery
+``flowsim_churn``         flow-level tier: exact-mode churn on a two-tier pod
+``flowsim_clos``          flow-level tier: 512-host Clos, interval batching
 ========================  ====================================================
+
+The two ``flowsim_*`` scenarios benchmark the *flow-level* simulator
+(:mod:`repro.flowsim`) -- there ``packets`` counts completed flows, so
+``packets_per_sec`` reads as flows/s, and ``events_per_packet`` as
+events per completed flow.  Their fingerprints digest the engine's
+integer-only run tuple (completion CRC included), pinned exactly like
+the packet scenarios'.
 
 Cross-process determinism: every scenario pins each switch's ECMP seed
 to ``crc32(name)`` before traffic starts (the constructor default uses
@@ -401,6 +410,66 @@ def tcp_baseline(seed):
     )
 
 
+def flowsim_churn(seed):
+    """The flow-level tier's dispatch floor: exact-mode arrival/completion
+    churn on a two-tier pod, every batch a full incremental max-min
+    recompute (the solver and heap hot path, no interval batching)."""
+    from repro.flowsim import FlowSim, two_tier_flow
+    from repro.workloads.distributions import WEB_CDF
+
+    topology = two_tier_flow(n_tors=4, hosts_per_tor=8)
+    sim = FlowSim.from_topology(topology, rate_update_interval_ns=0)
+    rng = SeededRng(seed, "bench/flowsim-churn")
+    n_hosts = topology.n_hosts
+    window_ns = 20 * MS
+    for _ in range(4000):
+        src = rng.randint(0, n_hosts - 1)
+        dst = (src + rng.randint(1, n_hosts - 1)) % n_hosts
+        sim.add_host_flow(
+            src,
+            dst,
+            WEB_CDF.sample(rng),
+            start_ns=rng.randint(0, window_ns - 1),
+            sport=rng.randint(49152, 65535),
+        )
+    run = sim.run()
+    return ScenarioRun(
+        events=run.n_events,
+        packets=run.n_completed,
+        sim_ns=run.sim_ns,
+        fingerprint_tuple=run.fingerprint(),
+        detail={"recomputes": run.n_recomputes},
+    )
+
+
+def flowsim_clos(seed):
+    """The flow-level tier at fabric scale: a 512-host three-tier Clos
+    carrying cross-podset pair traffic from the storage CDF, rates
+    re-solved on 500us interval boundaries (the F1 scenario's shape at
+    bench-friendly size)."""
+    from repro.experiments.flowsim_scale import build_scale_workload
+    from repro.flowsim import FlowSim, clos_flow
+    from repro.sim.units import US
+
+    topology = clos_flow(
+        n_podsets=4,
+        tors_per_podset=8,
+        hosts_per_tor=16,
+        leaves_per_podset=4,
+        n_spines=8,
+    )
+    sim = FlowSim.from_topology(topology, rate_update_interval_ns=500 * US)
+    build_scale_workload(sim, topology, seed, workload="storage", n_podsets=4)
+    run = sim.run()
+    return ScenarioRun(
+        events=run.n_events,
+        packets=run.n_completed,
+        sim_ns=run.sim_ns,
+        fingerprint_tuple=run.fingerprint(),
+        detail={"recomputes": run.n_recomputes},
+    )
+
+
 #: name -> BenchScenario, in presentation order.
 SCENARIOS = {
     scenario.name: scenario
@@ -446,6 +515,18 @@ SCENARIOS = {
             "TCP incast with egress drops",
             "section 5.4 (figure 6 contrast)",
             tcp_baseline,
+        ),
+        BenchScenario(
+            "flowsim_churn",
+            "flow-level exact-mode churn, two-tier pod",
+            "sections 1, 5.4 (flow-level tier)",
+            flowsim_churn,
+        ),
+        BenchScenario(
+            "flowsim_clos",
+            "flow-level 512-host Clos, interval batching",
+            "sections 1, 5.4 (flow-level tier)",
+            flowsim_clos,
         ),
     )
 }

@@ -19,6 +19,8 @@ E8          section 6.2, figure 10 (buffer alpha)    buffer_misconfig
 E9          section 3 (DSCP vs VLAN PFC)             dscp_vs_vlan
 E10         section 1 (CPU overhead)                 cpu_overhead
 E11         section 2 (headroom sizing)              headroom
+F1          sections 1, 5.4 (datacenter scale)       flowsim_scale
+F2          section 5.4, figure 7 (flowsim check)    flowsim_scale
 ==========  =======================================  ======================
 """
 
@@ -31,6 +33,7 @@ from repro.experiments.ablations import (
     run_routing_models,
     run_tcp_flavours,
 )
+from repro.experiments.flowsim_scale import run_flowsim_figure7, run_flowsim_scale
 from repro.experiments.livelock import run_livelock
 from repro.experiments.deadlock import run_deadlock
 from repro.experiments.storm import run_storm
@@ -62,4 +65,6 @@ __all__ = [
     "run_routing_models",
     "run_interdc_distance",
     "run_tcp_flavours",
+    "run_flowsim_scale",
+    "run_flowsim_figure7",
 ]

@@ -88,10 +88,28 @@ CATALOG = {
         _entry("A6", "run_interdc_distance", "ablation: PFC headroom vs distance"),
         _entry("A7", "run_tcp_flavours", "ablation: TCP class flavour, Reno vs DCTCP"),
         CatalogEntry(
+            "F1",
+            "run_flowsim_scale",
+            "flowsim: 4096-host Clos, 50k+ flows from the storage/web CDFs",
+            ref="repro.experiments.flowsim_scale:run_flowsim_scale",
+        ),
+        CatalogEntry(
+            "F2",
+            "run_flowsim_figure7",
+            "flowsim vs analytic Clos model on the figure 7 fabric",
+            ref="repro.experiments.flowsim_scale:run_flowsim_figure7",
+        ),
+        CatalogEntry(
             "V1",
             "run_validation_sweep",
             "differential validation sweep: packet sim vs flow-level oracles",
             ref="repro.validation.harness:run_validation_sweep",
+        ),
+        CatalogEntry(
+            "V2",
+            "run_flowsim_differential_sweep",
+            "differential sweep: packet engine vs flow-level simulator",
+            ref="repro.validation.flowsim_lane:run_flowsim_differential_sweep",
         ),
     )
 }

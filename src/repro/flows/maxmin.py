@@ -6,23 +6,43 @@ it gets an equal share of its remaining capacity, those flows freeze,
 and the procedure recurses on what is left.  The result is the unique
 max-min fair allocation -- the equilibrium a lossless fabric with
 per-flow congestion control (DCQCN) approximates.
+
+Two entry points:
+
+* :func:`max_min_allocation` -- the from-scratch reference: builds all
+  indexing state per call, scans every link per round.  Simple,
+  auditable, O(links x rounds).
+* :class:`MaxMinSolver` -- the incremental engine behind
+  :mod:`repro.flowsim`: per-link membership indexes are maintained
+  across :meth:`~MaxMinSolver.add_flow`/:meth:`~MaxMinSolver.remove_flow`
+  calls (no per-solve rebuild), flows carry integer *weights* (k
+  same-path flows collapse into one entry), and the water-filling uses a
+  lazy share heap with early exit once every flow froze -- the solve
+  cost scales with the flows actually placed, not with fabric size.
 """
 
+import heapq
 
-def max_min_allocation(link_capacities, flow_paths):
+
+def max_min_allocation(link_capacities, flow_paths, weights=None):
     """Compute max-min fair rates.
 
     ``link_capacities``
         Mapping link-id -> capacity (any consistent unit).
     ``flow_paths``
         One iterable of link-ids per flow.
+    ``weights``
+        Optional positive integer per flow: a weight-k flow stands for k
+        identical flows on that path and the returned rate is the
+        *per-unit* rate (each of the k flows gets it).  Default all 1.
 
     Returns a list of per-flow rates in the same order.
 
     Raises :class:`ValueError` for an empty capacity map (with flows to
-    place) or a non-positive capacity, and :class:`KeyError` when a path
-    references an unknown link -- garbage capacities would otherwise
-    surface as silently wrong allocations deep inside a sweep.
+    place), a non-positive capacity, or a non-positive weight, and
+    :class:`KeyError` when a path references an unknown link -- garbage
+    capacities would otherwise surface as silently wrong allocations
+    deep inside a sweep.
     """
     remaining = dict(link_capacities)
     for link, capacity in remaining.items():
@@ -31,6 +51,17 @@ def max_min_allocation(link_capacities, flow_paths):
                 "link %r has non-positive capacity %r" % (link, capacity)
             )
     flow_paths = [list(path) for path in flow_paths]
+    if weights is None:
+        weights = [1] * len(flow_paths)
+    else:
+        weights = list(weights)
+        if len(weights) != len(flow_paths):
+            raise ValueError(
+                "%d weights for %d flows" % (len(weights), len(flow_paths))
+            )
+        for idx, weight in enumerate(weights):
+            if not weight > 0:
+                raise ValueError("flow %d has non-positive weight %r" % (idx, weight))
     if not remaining and any(flow_paths):
         raise ValueError("no link capacities given, but flows have paths")
     flows_on_link = {link: set() for link in remaining}
@@ -52,7 +83,7 @@ def max_min_allocation(link_capacities, flow_paths):
             active = flows & unfrozen
             if not active:
                 continue
-            share = remaining[link] / len(active)
+            share = remaining[link] / sum(weights[idx] for idx in active)
             if best_share is None or share < best_share:
                 best_share = share
                 best_link = link
@@ -68,13 +99,176 @@ def max_min_allocation(link_capacities, flow_paths):
             rates[idx] = best_share
             unfrozen.discard(idx)
             for link in flow_paths[idx]:
-                remaining[link] -= best_share
+                remaining[link] -= best_share * weights[idx]
         # Guard against float drift leaving tiny negative capacities.
         remaining[best_link] = 0.0
         for link in remaining:
             if remaining[link] < 0:
                 remaining[link] = 0.0
     return rates
+
+
+class MaxMinSolver:
+    """Incremental max-min state: add/remove flows without rebuilding.
+
+    The per-link membership index (which flows cross which link, and the
+    link's total unfrozen weight) is maintained across mutations, so a
+    churny caller -- the flow-level simulator recomputing rates at every
+    arrival/completion -- pays O(path length) per mutation instead of
+    O(total flows) per solve for indexing.
+
+    :meth:`solve` runs progressive filling with a lazy min-share heap:
+    each active link is pushed with its current fair share; stale heap
+    entries (the link's membership changed since the push) are skipped
+    via a version counter; the fill stops as soon as every flow froze,
+    so links that are never anyone's bottleneck are never frozen.  The
+    result matches :func:`max_min_allocation` (same fixpoint; float
+    rounding may differ in the last bits because links freeze in heap
+    order rather than scan order).
+    """
+
+    __slots__ = ("_capacity", "_members", "_weights", "_paths", "_next_id")
+
+    def __init__(self, link_capacities):
+        self._capacity = {}
+        self._members = {}
+        for link, capacity in link_capacities.items():
+            if not capacity > 0:
+                raise ValueError(
+                    "link %r has non-positive capacity %r" % (link, capacity)
+                )
+            self._capacity[link] = capacity
+            self._members[link] = set()
+        self._weights = {}
+        self._paths = {}
+        self._next_id = 0
+
+    # -- mutations --------------------------------------------------------------
+
+    def add_link(self, link, capacity):
+        """Add (or re-rate) one link; existing flows keep their paths."""
+        if not capacity > 0:
+            raise ValueError("link %r has non-positive capacity %r" % (link, capacity))
+        self._capacity[link] = capacity
+        self._members.setdefault(link, set())
+
+    def add_flow(self, path, weight=1):
+        """Register one flow (or ``weight`` identical flows); returns its id."""
+        if not weight > 0:
+            raise ValueError("non-positive weight %r" % (weight,))
+        # Dedup while preserving order: a link crossed "twice" constrains
+        # the flow once (the reference's per-link membership is a set).
+        path = tuple(dict.fromkeys(path))
+        for link in path:
+            if link not in self._capacity:
+                raise KeyError("flow uses unknown link %r" % (link,))
+        flow_id = self._next_id
+        self._next_id += 1
+        self._paths[flow_id] = path
+        self._weights[flow_id] = weight
+        for link in path:
+            self._members[link].add(flow_id)
+        return flow_id
+
+    def remove_flow(self, flow_id):
+        """Withdraw one flow; its links keep their other members."""
+        path = self._paths.pop(flow_id)
+        self._weights.pop(flow_id)
+        for link in path:
+            self._members[link].discard(flow_id)
+
+    def set_weight(self, flow_id, weight):
+        """Change a flow's weight in place (k arrivals on one path)."""
+        if not weight > 0:
+            raise ValueError("non-positive weight %r" % (weight,))
+        if flow_id not in self._paths:
+            raise KeyError(flow_id)
+        self._weights[flow_id] = weight
+
+    def weight(self, flow_id):
+        return self._weights[flow_id]
+
+    def path(self, flow_id):
+        return self._paths[flow_id]
+
+    def flow_ids(self):
+        return list(self._paths)
+
+    def __len__(self):
+        return len(self._paths)
+
+    # -- solving ----------------------------------------------------------------
+
+    def solve(self):
+        """Per-unit max-min rates for every registered flow.
+
+        Returns ``{flow_id: rate}``.  Zero-length paths get rate 0.0.
+        """
+        weights = self._weights
+        paths = self._paths
+        rates = {}
+        # Per-link unfrozen weight, only for links someone crosses.
+        link_weight = {}
+        remaining = {}
+        for flow_id, path in paths.items():
+            if not path:
+                rates[flow_id] = 0.0
+                continue
+            for link in path:
+                if link in link_weight:
+                    link_weight[link] += weights[flow_id]
+                else:
+                    link_weight[link] = weights[flow_id]
+                    remaining[link] = self._capacity[link]
+        unfrozen = len(paths) - len(rates)
+        if not unfrozen:
+            return rates
+        # Lazy share heap: (share, version, link).  A popped entry is
+        # live only if its version matches the link's current one.
+        version = {link: 0 for link in link_weight}
+        heap = [
+            (remaining[link] / total, 0, link)
+            for link, total in link_weight.items()
+        ]
+        heapq.heapify(heap)
+        members = self._members
+        frozen = set()
+        while unfrozen and heap:
+            share, ver, link = heapq.heappop(heap)
+            if version[link] != ver or link_weight[link] <= 0:
+                continue
+            # Freeze every still-unfrozen flow on this link at `share`.
+            for flow_id in members[link]:
+                if flow_id in rates:
+                    continue
+                rates[flow_id] = share
+                unfrozen -= 1
+                flow_weight = weights[flow_id]
+                for other in paths[flow_id]:
+                    if other == link:
+                        continue
+                    if other in frozen:
+                        continue
+                    link_weight[other] -= flow_weight
+                    left = remaining[other] - share * flow_weight
+                    remaining[other] = left if left > 0 else 0.0
+                    version[other] += 1
+                    if link_weight[other] > 0:
+                        heapq.heappush(
+                            heap,
+                            (remaining[other] / link_weight[other],
+                             version[other], other),
+                        )
+            frozen.add(link)
+            link_weight[link] = 0
+            remaining[link] = 0.0
+        if unfrozen:
+            # Defensive (mirrors the reference): flows whose every link
+            # lost all competitors get their path's remaining minimum.
+            for flow_id, path in paths.items():
+                if flow_id not in rates:
+                    rates[flow_id] = min(remaining.get(link, 0.0) for link in path)
+        return rates
 
 
 def link_utilization(link_capacities, flow_paths, rates):

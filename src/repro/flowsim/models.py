@@ -1,0 +1,139 @@
+"""First-order congestion-control models for the flow-level simulator.
+
+The packet engine simulates DCQCN's control law and PFC's pause frames
+per event; at flow level both collapse into capacity adjustments:
+
+* **ECN/DCQCN** (:func:`dcqcn_capacity_factor`): at steady state a
+  DCQCN-governed bottleneck runs a shallow sawtooth around the ECN
+  marking point -- each marked congestion episode cuts the rate by
+  ``alpha/2`` and fast recovery climbs back, so the time-average sits
+  below the marking point by about a quarter of the cut.  With one
+  alpha update per episode the congestion estimate settles near ``g``,
+  giving utilization ``1 - g/4`` (the DCQCN paper's fluid model lands
+  >99% for the default ``g = 1/256``; see docs/flowsim.md for what this
+  deliberately ignores).
+* **PFC** (:func:`pfc_link_model`): unresponsive fixed-rate senders that
+  oversubscribe a link do not lose packets -- they pause it upstream.
+  The model turns overload into a per-link *pause fraction*
+  ``p = 1 - capacity/demand``, propagates it upstream along the
+  offending flows' paths (bounded hops -- headroom and buffering
+  absorb the rest), and hands the rate solver correspondingly shrunken
+  capacities.  Responsive flows that merely share an upstream link with
+  the congested tree lose throughput without being oversubscribed
+  anywhere themselves -- the paper's congestion-spreading victim
+  (section 4.3 / figure 8), reproduced analytically.
+"""
+
+
+def dcqcn_capacity_factor(config=None):
+    """Steady-state utilization factor (0..1] of an ECN-marked bottleneck.
+
+    ``config`` is a :class:`repro.dcqcn.rp.DcqcnConfig` (default
+    parameters if None).  Only ``g`` enters at first order: the
+    steady-state congestion estimate is ~``g`` (one marked alpha-update
+    per sawtooth period), each cut removes ``alpha/2`` of the rate, and
+    the triangular sawtooth averages half the cut below the peak.
+    """
+    if config is None:
+        g = 1.0 / 256
+    else:
+        g = config.g
+    if not 0.0 < g <= 1.0:
+        raise ValueError("DCQCN g out of range: %r" % (g,))
+    return 1.0 - g / 4.0
+
+
+#: Never hand the solver a dead link: a fully paused/consumed link keeps
+#: this fraction of its wire rate (control traffic trickles through as
+#: pauses toggle; also keeps the max-min solve well-posed).
+RESIDUAL_FLOOR = 1e-3
+
+
+def pfc_link_model(capacities, fixed_groups, propagation_hops=2):
+    """Aggregate-PFC capacity adjustment for unresponsive traffic.
+
+    ``capacities``
+        Mapping link id -> capacity (goodput bps).
+    ``fixed_groups``
+        Iterable of ``(path, total_rate)`` -- unresponsive aggregates
+        (e.g. an incast fan-in) with the *total* offered rate of the
+        group on that path, in the same unit as ``capacities``.
+    ``propagation_hops``
+        How many hops upstream a paused link's pause fraction spreads
+        along the offending paths.  PFC is hop-by-hop: the first
+        upstream queue fills first, and each tier of headroom damps the
+        spread, so the reach is short but nonzero (figure 8 needs one
+        hop to make victims).
+
+    Returns ``(residual, realized, pause)``:
+
+    * ``residual`` -- link id -> capacity left for *responsive* flows
+      (>= ``RESIDUAL_FLOOR`` of the original; only links the model
+      touched appear -- look up misses mean "unchanged").
+    * ``realized`` -- per input group, the fraction (0..1] of its
+      offered rate actually delivered (min over its path of
+      ``capacity/demand``, then damped by inherited upstream pause).
+    * ``pause`` -- link id -> effective pause fraction (own overload
+      combined with inherited downstream pause), for reporting.
+    """
+    fixed_groups = list(fixed_groups)
+    demand = {}
+    for path, rate in fixed_groups:
+        if rate < 0:
+            raise ValueError("negative fixed rate %r" % (rate,))
+        for link in path:
+            if link not in capacities:
+                raise KeyError("fixed flow uses unknown link %r" % (link,))
+            demand[link] = demand.get(link, 0.0) + rate
+    # Own overload: the fraction of time this link's upstream senders
+    # must be paused for arrivals to match capacity.
+    own_pause = {}
+    for link, load in demand.items():
+        cap = capacities[link]
+        if load > cap:
+            own_pause[link] = 1.0 - cap / load
+    # Upstream inheritance: walking each offending path, a link within
+    # ``propagation_hops`` upstream of paused links inherits their
+    # combined pause (independent-fraction combination: 1 - prod(1-p)).
+    pause = dict(own_pause)
+    inherited_pause = {}
+    if own_pause:
+        for path, _rate in fixed_groups:
+            for i, link in enumerate(path):
+                clear = 1.0
+                for j in range(i + 1, min(len(path), i + 1 + propagation_hops)):
+                    clear *= 1.0 - own_pause.get(path[j], 0.0)
+                inherited = 1.0 - clear
+                if inherited > 0.0:
+                    if inherited > inherited_pause.get(link, 0.0):
+                        inherited_pause[link] = inherited
+                    combined = 1.0 - (1.0 - own_pause.get(link, 0.0)) * (1.0 - inherited)
+                    if combined > pause.get(link, 0.0):
+                        pause[link] = combined
+    # Delivered fraction per group: throttled to the worst link on the
+    # path, further damped by pause inherited from *other* trees.
+    realized = []
+    for path, rate in fixed_groups:
+        frac = 1.0
+        for link in path:
+            cap = capacities[link]
+            load = demand.get(link, 0.0)
+            if load > cap:
+                frac = min(frac, cap / load)
+        realized.append(frac if rate > 0 else 1.0)
+    # Residual capacity for responsive flows: pause-scaled wire minus
+    # the fixed traffic actually delivered through the link.
+    residual = {}
+    delivered = {}
+    for (path, rate), frac in zip(fixed_groups, realized):
+        for link in path:
+            delivered[link] = delivered.get(link, 0.0) + rate * frac
+    # A link's *own* overload already shows up as delivered fixed bytes,
+    # so only pause inherited from downstream scales the usable time --
+    # counting both would charge the same stall twice.
+    for link in sorted(set(pause) | set(delivered)):
+        cap = capacities[link]
+        left = cap * (1.0 - inherited_pause.get(link, 0.0)) - delivered.get(link, 0.0)
+        floor = cap * RESIDUAL_FLOOR
+        residual[link] = left if left > floor else floor
+    return residual, realized, pause

@@ -9,11 +9,18 @@ simulator and traces the flows' realized paths into the max-min model,
 metamorphic relations), and `harness` sweeps seeds, shrinks failures
 to minimal scenarios and emits replayable JSONL artifacts.
 
+`flowsim_lane` turns the machinery around: the same seeded scenarios
+run through the packet engine *and* the flow-level simulator
+(:mod:`repro.flowsim`), with oracles requiring the two tiers to agree
+(flowsim's steady rates match the max-min shares to float precision;
+packet-measured goodput sits in the flowsim-anchored band).
+
 CLI::
 
     python -m repro.validation sweep --seeds 200
     python -m repro.validation mutation-check
     python -m repro.validation replay artifacts/validation/seed42.jsonl
+    python -m repro.validation flowsim --seeds 100
 """
 
 from repro.validation.scenarios import (
@@ -31,6 +38,11 @@ from repro.validation.harness import (
     shrink_scenario,
     validate_seed,
 )
+from repro.validation.flowsim_lane import (
+    FlowsimTolerances,
+    run_flowsim_differential_sweep,
+    validate_flowsim_seed,
+)
 
 __all__ = [
     "ValidationScenario",
@@ -47,4 +59,7 @@ __all__ = [
     "run_validation_sweep",
     "shrink_scenario",
     "validate_seed",
+    "FlowsimTolerances",
+    "run_flowsim_differential_sweep",
+    "validate_flowsim_seed",
 ]

@@ -3,16 +3,19 @@
 Subcommands::
 
     sweep           run N seeded scenarios (default; also plain --seeds N)
+    flowsim         packet engine vs flow-level simulator, same scenarios
     mutation-check  prove the oracles flag re-introduced paper bugs
     replay          re-run a recorded JSONL repro artifact
 
-Exit status is non-zero when any oracle violates (sweep/replay) or any
-mutation goes uncaught / any baseline is unclean (mutation-check).
+Exit status is non-zero when any oracle violates (sweep/replay/flowsim)
+or any mutation goes uncaught / any baseline is unclean (mutation-check).
 """
 
 import argparse
 import sys
 
+from repro.validation import flowsim_lane
+from repro.validation.flowsim_lane import run_flowsim_differential_sweep
 from repro.validation.harness import (
     DEFAULT_ARTIFACT_DIR,
     MUTATIONS,
@@ -33,6 +36,15 @@ def _build_parser():
     _sweep_args(sweep)
     # `python -m repro.validation --seeds 200` (no subcommand) sweeps.
     _sweep_args(parser)
+
+    flow = sub.add_parser(
+        "flowsim", help="packet engine vs flow-level simulator differential"
+    )
+    flow.add_argument("--seeds", type=int, default=25)
+    flow.add_argument("--start", type=int, default=0)
+    flow.add_argument("--fail-fast", action="store_true")
+    flow.add_argument("--artifacts", default=flowsim_lane.DEFAULT_ARTIFACT_DIR)
+    flow.add_argument("--jsonl", default=None, help="write sweep rows here")
 
     mut = sub.add_parser("mutation-check", help="sensitivity: catch known bugs")
     mut.add_argument("--which", choices=sorted(MUTATIONS), default=None)
@@ -100,6 +112,54 @@ def _cmd_sweep(args):
     return 0
 
 
+def _cmd_flowsim(args):
+    def progress(report, row):
+        if report.skipped:
+            status = "skipped (deadlock kind)"
+        elif report.clean:
+            status = "ok  model_err=%s band=[%s, %s]" % (
+                row["max_model_rel_err"],
+                row["min_band_ratio"],
+                row["max_band_ratio"],
+            )
+        else:
+            status = "VIOLATION(%s)" % row["oracles"]
+        print("  seed %-5d %-40s %s" % (report.scenario.seed,
+                                        report.scenario.describe(), status))
+        sys.stdout.flush()
+
+    print(
+        "flowsim differential sweep: %d scenario(s) from seed %d"
+        % (args.seeds, args.start)
+    )
+    result = run_flowsim_differential_sweep(
+        seeds=args.seeds,
+        start=args.start,
+        artifact_dir=args.artifacts,
+        fail_fast=args.fail_fast,
+        progress=progress,
+    )
+    if args.jsonl:
+        result.to_jsonl(args.jsonl)
+        print("rows -> %s" % args.jsonl)
+    dirty = [row for row in result.rows() if row["violations"]]
+    total = len(result.rows())
+    if dirty:
+        print("%d/%d scenario(s) violated a flowsim oracle:" % (len(dirty), total))
+        for row in dirty:
+            print(
+                "  seed %d: %s%s"
+                % (
+                    row["seed"],
+                    row["oracles"],
+                    " -> %s" % row["artifact"] if row.get("artifact") else "",
+                )
+            )
+        return 1
+    print("%d/%d scenarios: packet and flowsim tiers agree" % (total, total))
+    return 0
+
+
 def _cmd_mutation_check(args):
     results = mutation_check(
         which=args.which, artifact_dir=args.artifacts, shrink=not args.no_shrink
@@ -140,6 +200,8 @@ def _cmd_replay(args):
 def main(argv=None):
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if args.command == "flowsim":
+        return _cmd_flowsim(args)
     if args.command == "mutation-check":
         return _cmd_mutation_check(args)
     if args.command == "replay":

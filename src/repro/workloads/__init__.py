@@ -8,9 +8,21 @@
   periodic many-to-one incast (the latency-sensitive service of figure 6
   and the chatty servers of the section 6.2 incident), and Poisson
   request/response clients.
+* :mod:`~repro.workloads.distributions` -- storage/web flow-size CDFs
+  and Poisson interarrival sampling, shared between the packet-level
+  generators above and the flow-level simulator (:mod:`repro.flowsim`).
 """
 
 from repro.workloads.channels import RdmaChannel, TcpChannel
+from repro.workloads.distributions import (
+    NAMED_CDFS,
+    STORAGE_CDF,
+    WEB_CDF,
+    PoissonFlowArrivals,
+    SizeCDF,
+    interarrival_ns,
+    resolve_size,
+)
 from repro.workloads.generators import (
     ClosedLoopSender,
     PeriodicIncast,
@@ -23,4 +35,11 @@ __all__ = [
     "ClosedLoopSender",
     "PeriodicIncast",
     "PoissonRequests",
+    "SizeCDF",
+    "WEB_CDF",
+    "STORAGE_CDF",
+    "NAMED_CDFS",
+    "PoissonFlowArrivals",
+    "interarrival_ns",
+    "resolve_size",
 ]

@@ -1,0 +1,185 @@
+"""Shared flow-size and interarrival distributions.
+
+Both simulation tiers draw workloads from here: the packet-level
+generators (:mod:`repro.workloads.generators`) sample message sizes per
+request, and the flow-level simulator (:mod:`repro.flowsim`) samples
+flow sizes and arrival gaps for datacenter-scale scenarios.  One home
+keeps the two tiers literally comparable -- a flowsim run and a packet
+run of "the storage workload" mean the same byte distribution.
+
+The two canonical CDFs follow the shapes the datacenter-measurement
+literature keeps reporting (DCTCP's web-search trace, the Hadoop/storage
+mixes in the FB/MS fabric studies, both cited in PAPERS.md):
+
+* ``WEB_CDF`` -- RPC-dominated: mostly single-MTU-scale messages with a
+  thin tail to ~1 MB (mice).
+* ``STORAGE_CDF`` -- bulk-dominated: chunk reads/writes from 64 KB up to
+  32 MB, byte volume carried by the elephants.
+
+Sampling is inverse-transform over a piecewise-linear CDF and draws
+exactly one ``rng.random()`` per sample, so adding a sampler to a
+component does not perturb any other seeded stream.
+"""
+
+from bisect import bisect_left
+
+from repro.sim.units import KB, MB, SEC
+
+
+class SizeCDF:
+    """A flow/message size distribution as an empirical CDF.
+
+    ``points`` is a sequence of ``(size_bytes, cumulative_probability)``
+    pairs, strictly increasing in both coordinates, ending at
+    probability 1.0.  Sampling interpolates linearly in bytes between
+    the bracketing points (the conventional rendering of published
+    workload CDF figures).
+    """
+
+    __slots__ = ("name", "_sizes", "_probs")
+
+    def __init__(self, name, points):
+        if not points:
+            raise ValueError("empty CDF")
+        sizes = [int(size) for size, _prob in points]
+        probs = [float(prob) for _size, prob in points]
+        if probs[-1] != 1.0:
+            raise ValueError("CDF must end at probability 1.0, got %r" % probs[-1])
+        for i in range(1, len(points)):
+            if sizes[i] <= sizes[i - 1] or probs[i] <= probs[i - 1]:
+                raise ValueError(
+                    "CDF points must be strictly increasing: %r -> %r"
+                    % (points[i - 1], points[i])
+                )
+        if probs[0] < 0:
+            raise ValueError("negative probability %r" % probs[0])
+        self.name = name
+        self._sizes = sizes
+        self._probs = probs
+
+    def sample(self, rng):
+        """Draw one size in bytes (>= 1); consumes one uniform draw."""
+        u = rng.random()
+        probs, sizes = self._probs, self._sizes
+        idx = bisect_left(probs, u)
+        if idx >= len(probs):
+            return sizes[-1]
+        if idx == 0:
+            # Below the first point: scale linearly from 0 bytes.
+            lo_size, lo_prob = 0, 0.0
+        else:
+            lo_size, lo_prob = sizes[idx - 1], probs[idx - 1]
+        hi_size, hi_prob = sizes[idx], probs[idx]
+        span = hi_prob - lo_prob
+        frac = (u - lo_prob) / span if span > 0 else 1.0
+        return max(1, int(lo_size + frac * (hi_size - lo_size)))
+
+    def mean(self):
+        """Analytic mean of the piecewise-linear CDF (bytes)."""
+        total = 0.0
+        lo_size, lo_prob = 0, 0.0
+        for size, prob in zip(self._sizes, self._probs):
+            # Uniform over [lo_size, size] with mass (prob - lo_prob).
+            total += (prob - lo_prob) * (lo_size + size) / 2.0
+            lo_size, lo_prob = size, prob
+        return total
+
+    def quantile(self, q):
+        """The size at cumulative probability ``q`` (0..1)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile out of range: %r" % (q,))
+        probs, sizes = self._probs, self._sizes
+        idx = bisect_left(probs, q)
+        if idx >= len(probs):
+            return sizes[-1]
+        lo_size, lo_prob = (0, 0.0) if idx == 0 else (sizes[idx - 1], probs[idx - 1])
+        hi_size, hi_prob = sizes[idx], probs[idx]
+        span = hi_prob - lo_prob
+        frac = (q - lo_prob) / span if span > 0 else 1.0
+        return int(lo_size + frac * (hi_size - lo_size))
+
+    def __repr__(self):
+        return "SizeCDF(%r, %d points, mean=%.0fB)" % (
+            self.name, len(self._sizes), self.mean()
+        )
+
+
+#: Web/RPC-style: mice-dominated with a modest tail (DCTCP web-search shape).
+WEB_CDF = SizeCDF(
+    "web",
+    [
+        (1 * KB, 0.15),
+        (2 * KB, 0.35),
+        (4 * KB, 0.50),
+        (16 * KB, 0.70),
+        (64 * KB, 0.85),
+        (256 * KB, 0.95),
+        (1 * MB, 1.0),
+    ],
+)
+
+#: Storage/bulk-style: chunk transfers, byte volume in the elephants.
+STORAGE_CDF = SizeCDF(
+    "storage",
+    [
+        (64 * KB, 0.10),
+        (256 * KB, 0.30),
+        (1 * MB, 0.60),
+        (4 * MB, 0.85),
+        (16 * MB, 0.97),
+        (32 * MB, 1.0),
+    ],
+)
+
+#: name -> SizeCDF for CLI/config lookup.
+NAMED_CDFS = {cdf.name: cdf for cdf in (WEB_CDF, STORAGE_CDF)}
+
+
+def resolve_size(spec, rng):
+    """One message/flow size from either a plain int or a sampler.
+
+    The packet generators historically took ``message_bytes`` as an
+    int; passing a :class:`SizeCDF` (anything with ``sample``) makes
+    them draw per message instead -- same seeded stream discipline.
+    """
+    if hasattr(spec, "sample"):
+        return spec.sample(rng)
+    return int(spec)
+
+
+def interarrival_ns(rng, rate_per_second):
+    """One exponential arrival gap in integer ns (Poisson process)."""
+    if rate_per_second <= 0:
+        raise ValueError("rate must be positive, got %r" % (rate_per_second,))
+    return max(1, int(rng.expovariate(rate_per_second) * SEC))
+
+
+class PoissonFlowArrivals:
+    """Seeded (start_ns, src, dst, size) draws for flow-level workloads.
+
+    ``pair_fn(rng) -> (src, dst)`` picks endpoints per flow -- callers
+    encode their traffic matrix there (uniform random, tor-pair
+    permutation, incast, ...).  Arrivals are Poisson at ``rate_per_second``
+    and sizes come from ``size_cdf``.  Purely generative: no simulator
+    coupling, so both tiers can consume the identical sequence.
+    """
+
+    __slots__ = ("rng", "rate_per_second", "size_cdf", "pair_fn")
+
+    def __init__(self, rng, rate_per_second, size_cdf, pair_fn):
+        if rate_per_second <= 0:
+            raise ValueError("rate must be positive")
+        self.rng = rng
+        self.rate_per_second = rate_per_second
+        self.size_cdf = size_cdf
+        self.pair_fn = pair_fn
+
+    def draw(self, n_flows, start_ns=0):
+        """The first ``n_flows`` arrivals as (start_ns, src, dst, bytes)."""
+        flows = []
+        now = start_ns
+        for _ in range(n_flows):
+            now += interarrival_ns(self.rng, self.rate_per_second)
+            src, dst = self.pair_fn(self.rng)
+            flows.append((now, src, dst, resolve_size(self.size_cdf, self.rng)))
+        return flows

@@ -1,6 +1,14 @@
-"""Traffic pattern generators."""
+"""Traffic pattern generators.
+
+Message sizes: generators that hold a seeded rng (``PeriodicIncast``,
+``PoissonRequests``) accept either a plain byte count or a sampler from
+:mod:`repro.workloads.distributions` (anything with ``sample(rng)``), so
+packet-level runs can draw from the same storage/web CDFs the flow-level
+simulator uses.
+"""
 
 from repro.sim.timer import Timer
+from repro.workloads.distributions import interarrival_ns, resolve_size
 
 
 class ClosedLoopSender:
@@ -111,7 +119,12 @@ class PeriodicIncast:
             self._timer.start(self.period_ns)
 
     def _send_one(self, channel):
-        channel.send(self.burst_bytes, on_delivered=self._on_delivered)
+        nbytes = self.burst_bytes
+        if hasattr(nbytes, "sample"):
+            if self.rng is None:
+                raise ValueError("burst size sampler requires an rng")
+            nbytes = resolve_size(nbytes, self.rng)
+        channel.send(nbytes, on_delivered=self._on_delivered)
 
     def _on_delivered(self, latency_ns):
         self.deliveries += 1
@@ -119,13 +132,17 @@ class PeriodicIncast:
 
     def offered_load_bps(self):
         """Average per-victim offered rate."""
-        return len(self.channels) * self.burst_bytes * 8e9 / self.period_ns
+        nbytes = self.burst_bytes
+        if hasattr(nbytes, "mean"):
+            nbytes = nbytes.mean()
+        return len(self.channels) * nbytes * 8e9 / self.period_ns
 
 
 class PoissonRequests:
     """Open-loop request generator: messages of ``message_bytes`` at
     exponential inter-arrivals over a pool of channels (one channel
-    drawn uniformly per request)."""
+    drawn uniformly per request).  ``message_bytes`` may be an int or a
+    size sampler (e.g. :data:`repro.workloads.distributions.WEB_CDF`)."""
 
     def __init__(self, sim, channels, message_bytes, rate_per_second, rng, max_requests=None):
         if rate_per_second <= 0:
@@ -151,8 +168,7 @@ class PoissonRequests:
         self._timer.cancel()
 
     def _schedule_next(self):
-        gap_s = self.rng.expovariate(self.rate_per_second)
-        self._timer.start(max(1, int(gap_s * 1e9)))
+        self._timer.start(interarrival_ns(self.rng, self.rate_per_second))
 
     def _fire(self):
         if self.max_requests is not None and self.sent >= self.max_requests:
@@ -160,6 +176,7 @@ class PoissonRequests:
             return
         self.sent += 1
         channel = self.rng.choice(self.channels)
-        channel.send(self.message_bytes, on_delivered=self.latencies_ns.append)
+        nbytes = resolve_size(self.message_bytes, self.rng)
+        channel.send(nbytes, on_delivered=self.latencies_ns.append)
         if self._running:
             self._schedule_next()

@@ -39,8 +39,18 @@ from repro.bench.scenarios import digest
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BASELINE_PATH = os.path.join(REPO_ROOT, "benchmarks", "BASELINE.json")
 
-#: Scenarios cheap enough to re-run inside the tier-1 suite.
-FAST_SCENARIOS = ("engine_churn", "single_flow", "tcp_baseline", "incast_tor")
+#: Scenarios cheap enough to re-run inside the tier-1 suite.  The two
+#: flowsim_* entries pin the flow-level tier the same way the packet
+#: scenarios pin the packet engine (their fingerprints digest the
+#: engine's integer run tuple, completion CRC included).
+FAST_SCENARIOS = (
+    "engine_churn",
+    "single_flow",
+    "tcp_baseline",
+    "incast_tor",
+    "flowsim_churn",
+    "flowsim_clos",
+)
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,278 @@
+"""The flow-level simulator (src/repro/flowsim/).
+
+The `flowsim` lane: exact-mode steady state against the max-min
+reference, byte-identical determinism, scale-mode (interval batching)
+agreement with exact mode, the first-order DCQCN and PFC models, and
+the analytic topologies' path discipline.  The datacenter-scale
+acceptance run (4096 hosts, 50k+ flows) lives in CI's flowsim smoke
+job, not here.
+
+Run alone with ``pytest -m flowsim``.
+"""
+
+import pytest
+
+from repro.dcqcn import DcqcnConfig
+from repro.flows.maxmin import max_min_allocation
+from repro.flowsim import (
+    EFFICIENCY,
+    FlowSim,
+    clos_flow,
+    dcqcn_capacity_factor,
+    pfc_link_model,
+    single_switch_flow,
+    two_tier_flow,
+)
+from repro.sim.rng import SeededRng
+from repro.sim.units import MS, US, gbps
+
+pytestmark = pytest.mark.flowsim
+
+
+def drive_random_flows(sim, topology, n_flows, seed, max_bytes=256 * 1024,
+                       window_ns=2 * MS):
+    """Seeded random pair traffic; returns the flow ids."""
+    rng = SeededRng(seed, "test/flowsim")
+    n_hosts = topology.n_hosts
+    ids = []
+    for _ in range(n_flows):
+        src = rng.randint(0, n_hosts - 1)
+        dst = (src + rng.randint(1, n_hosts - 1)) % n_hosts
+        ids.append(
+            sim.add_host_flow(
+                src, dst, rng.randint(1024, max_bytes),
+                start_ns=rng.randint(0, window_ns),
+                sport=rng.randint(49152, 65535),
+            )
+        )
+    return ids
+
+
+class TestExactModeSteadyState:
+    def test_matches_maxmin_reference_on_contended_switch(self):
+        topology = single_switch_flow(n_hosts=6)
+        sim = FlowSim.from_topology(topology)  # exact mode
+        permanent = 10 ** 15
+        # 3-to-1 incast into host 0 plus two bystander pairs.
+        specs = [(1, 0), (2, 0), (3, 0), (4, 5), (5, 4)]
+        ids = [sim.add_host_flow(s, d, permanent) for s, d in specs]
+        sim.run(until_ns=1)
+        caps = topology.goodput_capacities()
+        paths = [topology.path(s, d, 49152) for s, d in specs]
+        reference = max_min_allocation(caps, paths)
+        rates = sim.current_rates()
+        for fid, expected in zip(ids, reference):
+            assert rates[fid] == pytest.approx(expected, rel=1e-9)
+
+    def test_completion_time_of_equal_split(self):
+        # n identical flows on one link: each gets cap/n, finishing at
+        # total_bytes * 8 / cap (within integer-ns ceiling).
+        topology = single_switch_flow(n_hosts=2)
+        sim = FlowSim.from_topology(topology)
+        size = 1024 * 1024
+        n = 4
+        for _ in range(n):
+            sim.add_host_flow(0, 1, size)
+        run = sim.run()
+        cap = gbps(40) * EFFICIENCY
+        expected_ns = n * size * 8e9 / cap
+        assert run.n_completed == n
+        assert run.sim_ns == pytest.approx(expected_ns, rel=1e-6)
+        # All four share the path group and finish together.
+        assert run.max_fct_ns == run.sim_ns
+
+    def test_rates_readjust_after_completion(self):
+        topology = single_switch_flow(n_hosts=2)
+        sim = FlowSim.from_topology(topology)
+        short = sim.add_host_flow(0, 1, 64 * 1024)
+        long = sim.add_host_flow(0, 1, 10 ** 12)
+        cap = gbps(40) * EFFICIENCY
+        sim.run(until_ns=1)
+        assert sim.current_rates()[long] == pytest.approx(cap / 2, rel=1e-9)
+        # Run past the short flow's finish: the survivor takes the link.
+        sim.run(until_ns=1 * MS)
+        rates = sim.current_rates()
+        assert short not in rates
+        assert rates[long] == pytest.approx(cap, rel=1e-9)
+
+
+class TestDeterminism:
+    def build_and_run(self, interval_ns):
+        topology = two_tier_flow(n_tors=3, hosts_per_tor=4, n_leaves=2)
+        sim = FlowSim.from_topology(topology, rate_update_interval_ns=interval_ns)
+        drive_random_flows(sim, topology, n_flows=200, seed=7)
+        return sim.run()
+
+    def test_identical_fingerprints_across_runs(self):
+        first = self.build_and_run(0)
+        second = self.build_and_run(0)
+        assert first.fingerprint() == second.fingerprint()
+        assert first.n_completed == 200
+
+    def test_fingerprint_is_integer_only(self):
+        run = self.build_and_run(0)
+        assert all(isinstance(v, int) for v in run.fingerprint())
+        assert run.to_dict()["completion_crc"] == run.completion_crc
+
+    def test_scale_mode_agrees_with_exact_mode(self):
+        exact = self.build_and_run(0)
+        batched = self.build_and_run(100 * US)
+        # Same completions; the interval approximation shifts finish
+        # times by at most a few update periods on a millisecond run.
+        assert batched.n_completed == exact.n_completed
+        assert batched.total_bytes == exact.total_bytes
+        assert batched.sim_ns == pytest.approx(exact.sim_ns, rel=0.05)
+        assert batched.n_recomputes < exact.n_recomputes
+
+
+class TestCongestionModels:
+    def test_dcqcn_factor_default_and_config(self):
+        assert dcqcn_capacity_factor() == pytest.approx(1.0 - 1.0 / 1024)
+        assert dcqcn_capacity_factor(DcqcnConfig(g=1.0 / 16)) == pytest.approx(
+            1.0 - 1.0 / 64
+        )
+        with pytest.raises(ValueError):
+            dcqcn_capacity_factor(DcqcnConfig(g=0.0))
+
+    def test_pfc_own_pause_fraction(self):
+        caps = {"a": 10.0, "b": 10.0}
+        residual, realized, pause = pfc_link_model(
+            caps, [(("a", "b"), 20.0)]
+        )
+        # Overloaded 2:1 on both hops: half the offered rate delivered;
+        # the tail link pauses at 1 - cap/demand = 0.5, and the feeder
+        # combines its own 0.5 with the 0.5 it inherits downstream.
+        assert realized == [pytest.approx(0.5)]
+        assert pause["a"] == pytest.approx(0.75)
+        assert pause["b"] == pytest.approx(0.5)
+        # Delivered fixed bytes consume the links fully; responsive
+        # traffic keeps only the floor.
+        assert residual["a"] == pytest.approx(10.0 * 1e-3)
+
+    def test_pfc_congestion_spreading_victim(self):
+        # An incast tree saturating link "hot" pauses its upstream
+        # feeder "up"; a responsive flow crossing only "up" (never
+        # oversubscribed itself) loses capacity -- the figure 8 victim.
+        caps = {"up": 10.0, "hot": 10.0, "side": 10.0}
+        residual, _realized, pause = pfc_link_model(
+            caps, [(("up", "hot"), 30.0)]
+        )
+        assert pause["hot"] == pytest.approx(2.0 / 3.0)
+        # "up" carries 10 offered (its share of the tree after min-cap
+        # delivery) but inherits the downstream pause.
+        assert residual["up"] < caps["up"] / 2
+        assert "side" not in residual  # untouched links stay unscaled
+
+    def test_fixed_flow_throttles_responsive_sharer_in_engine(self):
+        topology = single_switch_flow(n_hosts=4)
+        sim = FlowSim.from_topology(topology)
+        cap = gbps(40) * EFFICIENCY
+        # Unresponsive 2x-overload into host 0; a responsive flow shares
+        # the victim's sender uplink 1->T0.
+        sim.add_host_flow(1, 0, 10 ** 15, fixed_rate_bps=cap)
+        sim.add_host_flow(2, 0, 10 ** 15, fixed_rate_bps=cap)
+        victim = sim.add_host_flow(1, 3, 10 ** 15)
+        sim.run(until_ns=1)
+        victim_rate = sim.current_rates()[victim]
+        assert victim_rate < 0.6 * cap
+        assert sim.pause_fractions  # the PFC model engaged
+
+    def test_fixed_flow_below_capacity_completes_on_schedule(self):
+        topology = single_switch_flow(n_hosts=2)
+        sim = FlowSim.from_topology(topology)
+        rate = gbps(10)
+        size = 1250 * 1000  # 1 ms at 10 Gb/s
+        sim.add_host_flow(0, 1, size, fixed_rate_bps=rate)
+        run = sim.run()
+        assert run.n_completed == 1
+        assert run.sim_ns == pytest.approx(size * 8e9 / rate, rel=1e-6)
+
+
+class TestTopologies:
+    @pytest.mark.parametrize(
+        "topology",
+        [
+            single_switch_flow(n_hosts=4),
+            two_tier_flow(n_tors=3, hosts_per_tor=2, n_leaves=2),
+            clos_flow(n_podsets=2, tors_per_podset=2, hosts_per_tor=2,
+                      leaves_per_podset=2, n_spines=4),
+        ],
+        ids=["single", "two_tier", "clos"],
+    )
+    def test_every_path_walks_existing_links_endpoint_to_endpoint(self, topology):
+        rng = SeededRng(3, "test/paths")
+        for _ in range(50):
+            src = rng.randint(0, topology.n_hosts - 1)
+            dst = (src + rng.randint(1, topology.n_hosts - 1)) % topology.n_hosts
+            path = topology.path(src, dst, rng.randint(49152, 65535))
+            assert path[0].startswith(topology.hosts[src] + ">")
+            assert path[-1].endswith(">" + topology.hosts[dst])
+            hops = [link.split(">") for link in path]
+            for link, (a, b) in zip(path, hops):
+                assert link in topology.links
+            # Consecutive hops chain through shared devices.
+            for (_a, b), (c, _d) in zip(hops, hops[1:]):
+                assert b == c
+
+    def test_clos_hop_counts(self):
+        topology = clos_flow(n_podsets=2, tors_per_podset=2, hosts_per_tor=2,
+                             leaves_per_podset=2, n_spines=4)
+        hosts_per_podset = 4
+        same_tor = topology.path(0, 1, 49152)
+        assert len(same_tor) == 2
+        same_podset = topology.path(0, 2, 49152)
+        assert len(same_podset) == 4
+        cross = topology.path(0, hosts_per_podset, 49152)
+        assert len(cross) == 6
+
+    def test_goodput_capacities_scale(self):
+        topology = single_switch_flow(n_hosts=2, rate_bps=gbps(100))
+        caps = topology.goodput_capacities(factor=0.5)
+        assert all(
+            cap == pytest.approx(gbps(100) * EFFICIENCY * 0.5)
+            for cap in caps.values()
+        )
+
+    def test_self_flow_rejected(self):
+        with pytest.raises(ValueError):
+            single_switch_flow(n_hosts=2).path(1, 1, 49152)
+
+
+class TestApiValidation:
+    def test_add_flow_rejects_bad_specs(self):
+        sim = FlowSim({"l": 1e9})
+        with pytest.raises(ValueError):
+            sim.add_flow((), 100)
+        with pytest.raises(KeyError):
+            sim.add_flow(("nope",), 100)
+        with pytest.raises(ValueError):
+            sim.add_flow(("l",), 0)
+        sim.add_flow(("l",), 100, start_ns=500)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.add_flow(("l",), 100, start_ns=0)  # in the past now
+
+    def test_add_host_flow_needs_topology(self):
+        with pytest.raises(ValueError):
+            FlowSim({"l": 1e9}).add_host_flow(0, 1, 100)
+
+    def test_negative_interval_rejected(self):
+        with pytest.raises(ValueError):
+            FlowSim({"l": 1e9}, rate_update_interval_ns=-1)
+
+    def test_link_utilization_is_bounded(self):
+        topology = two_tier_flow(n_tors=2, hosts_per_tor=4, n_leaves=2)
+        sim = FlowSim.from_topology(topology)
+        drive_random_flows(sim, topology, n_flows=60, seed=11,
+                           max_bytes=10 ** 9)
+        sim.run(until_ns=1 * MS)
+        utilization = sim.link_utilization()
+        assert utilization
+        assert max(utilization.values()) <= 1.0 + 1e-9
+
+    def test_active_flow_paths_tracks_live_flows(self):
+        topology = single_switch_flow(n_hosts=2)
+        sim = FlowSim.from_topology(topology)
+        fid = sim.add_host_flow(0, 1, 10 ** 12)
+        sim.run(until_ns=1)
+        assert sim.active_flow_paths() == {fid: topology.path(0, 1, 49152)}

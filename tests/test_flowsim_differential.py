@@ -1,0 +1,108 @@
+"""The packet-vs-flowsim differential lane (validation/flowsim_lane).
+
+A handful of clean seeds end to end (the 100-seed acceptance sweep is
+CI's differential smoke job), the report-row schema, oracle sensitivity
+(a tightened band must flag what the real run passes), and artifact
+writing on violation.
+
+Run alone with ``pytest -m flowsim``.
+"""
+
+import json
+
+import pytest
+
+from repro.validation import FlowsimTolerances, validate_flowsim_seed
+from repro.validation.flowsim_lane import (
+    _report_row,
+    _write_artifact,
+    flowsim_rates_for_outcome,
+    judge_flowsim_run,
+    run_flowsim_differential_sweep,
+)
+from repro.validation.scenarios import generate_scenario
+
+pytestmark = pytest.mark.flowsim
+
+
+class TestCleanSeeds:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_seed_is_clean(self, seed):
+        report = validate_flowsim_seed(seed)
+        assert report.clean, report.violations
+        if not report.skipped:
+            assert len(report.flow_rates) == len(report.outcome.flows)
+
+    def test_deadlock_kind_is_skipped(self, monkeypatch):
+        # The seed map never draws the deadlock kind (it is the fixed
+        # figure 4 probe), but replay paths can hand one in -- the lane
+        # must skip it, not trace paths that do not exist.
+        from repro.validation import flowsim_lane
+        from repro.validation.scenarios import deadlock_probe_scenario
+
+        monkeypatch.setattr(
+            flowsim_lane, "generate_scenario",
+            lambda seed: deadlock_probe_scenario(),
+        )
+        report = flowsim_lane.validate_flowsim_seed(0)
+        assert report.skipped and report.clean
+
+
+class TestSweep:
+    def test_rows_and_schema(self, tmp_path):
+        result = run_flowsim_differential_sweep(
+            seeds=3, artifact_dir=str(tmp_path)
+        )
+        result.check_schema()
+        rows = result.rows()
+        assert [row["seed"] for row in rows] == [0, 1, 2]
+        for row in rows:
+            assert row["violations"] == 0
+            if not row["skipped"]:
+                assert row["max_model_rel_err"] <= FlowsimTolerances.model_rel_err
+        assert not list(tmp_path.iterdir())  # clean runs leave no artifacts
+
+
+class TestOracleSensitivity:
+    def test_tightened_band_is_flagged_and_artifacted(self, tmp_path):
+        # The real run passes the shipped tolerances; a flow_hi below
+        # the measured/flowsim ratio must trip the band oracle -- the
+        # lane is actually comparing, not rubber-stamping.
+        class Strict(FlowsimTolerances):
+            flow_hi = 1e-6
+            cap_slack = 1e-6
+
+        seed = next(
+            s for s in range(50)
+            if generate_scenario(s).kind != "deadlock"
+            and not generate_scenario(s).lossy
+        )
+        report = validate_flowsim_seed(seed, tolerances=Strict)
+        assert not report.clean
+        assert {v["oracle"] for v in report.violations} == {"flowsim-band"}
+        path = _write_artifact(report, str(tmp_path))
+        payload = json.loads(open(path).read())
+        assert payload["schema"] == "flowsim-differential/1"
+        assert payload["violations"]
+        assert len(payload["flows"]) == len(report.outcome.flows)
+
+    def test_model_oracle_catches_rate_mismatch(self):
+        seed = next(
+            s for s in range(50) if generate_scenario(s).kind != "deadlock"
+        )
+        scenario = generate_scenario(seed)
+        from repro.validation.differential import run_scenario
+
+        outcome = run_scenario(scenario)
+        rates = flowsim_rates_for_outcome(outcome, scenario.link_gbps)
+        tampered = [rate * 1.5 for rate in rates]
+        violations = judge_flowsim_run(outcome, tampered)
+        assert any(v["oracle"] == "flowsim-model" for v in violations)
+
+    def test_report_row_fields(self):
+        report = validate_flowsim_seed(0)
+        row = _report_row(report)
+        assert set(row) >= {
+            "seed", "kind", "flows", "skipped", "violations", "oracles",
+            "max_model_rel_err", "min_band_ratio", "max_band_ratio",
+        }

@@ -1,0 +1,165 @@
+"""The incremental MaxMinSolver against the from-scratch reference.
+
+`repro.flows.maxmin.MaxMinSolver` is the engine behind the flow-level
+simulator: per-link membership maintained across add/remove, integer
+weights collapsing same-path flows, a lazy share heap with early exit.
+Every solve must land on the same max-min fixpoint as
+`max_min_allocation`, the simple reference scan -- including after
+arbitrary churn and weight changes, which is exactly the life the
+flowsim engine subjects it to.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flows.maxmin import MaxMinSolver, max_min_allocation
+from tests.strategies import maxmin_problems
+
+#: The solver freezes links in heap order, the reference in scan order;
+#: only last-bit float rounding may differ between the two.
+REL_TOL = 1e-9
+
+
+def assert_rates_match(solver_rates, reference_rates, flow_ids):
+    assert len(solver_rates) == len(reference_rates) == len(flow_ids)
+    for flow_id, expected in zip(flow_ids, reference_rates):
+        got = solver_rates[flow_id]
+        assert got == pytest.approx(expected, rel=REL_TOL, abs=1e-12), (
+            "flow %r: solver %r vs reference %r" % (flow_id, got, expected)
+        )
+
+
+class TestUnit:
+    def test_single_link_equal_split(self):
+        solver = MaxMinSolver({"l": 30.0})
+        ids = [solver.add_flow(["l"]) for _ in range(3)]
+        rates = solver.solve()
+        assert all(rates[i] == pytest.approx(10.0) for i in ids)
+
+    def test_weight_k_equals_k_identical_flows(self):
+        links = {"a": 50.0, "b": 30.0}
+        heavy = MaxMinSolver(links)
+        hid = heavy.add_flow(["a", "b"], weight=3)
+        oid = heavy.add_flow(["a"])
+        expected = max_min_allocation(
+            links, [["a", "b"]] * 3 + [["a"]]
+        )
+        rates = heavy.solve()
+        assert rates[hid] == pytest.approx(expected[0], rel=REL_TOL)
+        assert rates[oid] == pytest.approx(expected[3], rel=REL_TOL)
+
+    def test_remove_flow_restores_capacity(self):
+        solver = MaxMinSolver({"l": 40.0})
+        keep = solver.add_flow(["l"])
+        gone = solver.add_flow(["l"])
+        assert solver.solve()[keep] == pytest.approx(20.0)
+        solver.remove_flow(gone)
+        assert solver.solve() == {keep: pytest.approx(40.0)}
+        assert len(solver) == 1
+
+    def test_add_link_rerates_in_place(self):
+        solver = MaxMinSolver({"l": 10.0})
+        fid = solver.add_flow(["l"])
+        assert solver.solve()[fid] == pytest.approx(10.0)
+        solver.add_link("l", 25.0)
+        assert solver.solve()[fid] == pytest.approx(25.0)
+
+    def test_set_weight_changes_split(self):
+        solver = MaxMinSolver({"l": 30.0})
+        grp = solver.add_flow(["l"])
+        other = solver.add_flow(["l"])
+        solver.set_weight(grp, 2)
+        rates = solver.solve()
+        assert rates[grp] == pytest.approx(10.0)
+        assert rates[other] == pytest.approx(10.0)
+        assert solver.weight(grp) == 2
+
+    def test_empty_path_rate_zero(self):
+        solver = MaxMinSolver({"l": 10.0})
+        fid = solver.add_flow([])
+        assert solver.solve()[fid] == 0.0
+
+    def test_duplicate_links_constrain_once(self):
+        solver = MaxMinSolver({"l": 10.0})
+        fid = solver.add_flow(["l", "l"])
+        assert solver.path(fid) == ("l",)
+        assert solver.solve()[fid] == pytest.approx(10.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            MaxMinSolver({"l": 0.0})
+        solver = MaxMinSolver({"l": 10.0})
+        with pytest.raises(KeyError):
+            solver.add_flow(["nope"])
+        with pytest.raises(ValueError):
+            solver.add_flow(["l"], weight=0)
+        fid = solver.add_flow(["l"])
+        with pytest.raises(ValueError):
+            solver.set_weight(fid, -1)
+        with pytest.raises(KeyError):
+            solver.set_weight(12345, 1)
+        with pytest.raises(ValueError):
+            solver.add_link("l", 0.0)
+
+
+class TestAgainstReference:
+    @given(problem=maxmin_problems())
+    @settings(max_examples=100, deadline=None)
+    def test_solve_matches_reference(self, problem):
+        links, paths = problem
+        solver = MaxMinSolver(links)
+        ids = [solver.add_flow(path) for path in paths]
+        assert_rates_match(solver.solve(), max_min_allocation(links, paths), ids)
+
+    @given(
+        problem=maxmin_problems(),
+        removals=st.lists(st.integers(0, 10**6), max_size=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_churn_matches_reference_on_survivors(self, problem, removals):
+        links, paths = problem
+        solver = MaxMinSolver(links)
+        alive = {solver.add_flow(path): path for path in paths}
+        for token in removals:
+            if not alive:
+                break
+            victim = sorted(alive)[token % len(alive)]
+            solver.remove_flow(victim)
+            del alive[victim]
+        ids = sorted(alive)
+        reference = max_min_allocation(links, [alive[i] for i in ids])
+        rates = solver.solve()
+        assert set(rates) == set(ids)
+        assert_rates_match(rates, reference, ids)
+
+    @given(
+        problem=maxmin_problems(max_flows=8),
+        weights=st.lists(st.integers(1, 4), min_size=8, max_size=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_weighted_entry_equals_duplicated_flows(self, problem, weights):
+        links, paths = problem
+        weights = weights[: len(paths)] + [1] * max(0, len(paths) - len(weights))
+        solver = MaxMinSolver(links)
+        ids = [
+            solver.add_flow(path, weight=w) for path, w in zip(paths, weights)
+        ]
+        # Reference: weight-k flow literally expanded into k flows.
+        expanded_paths = []
+        firsts = []
+        for path, w in zip(paths, weights):
+            firsts.append(len(expanded_paths))
+            expanded_paths.extend([path] * w)
+        expanded = max_min_allocation(links, expanded_paths)
+        reference = [expanded[first] for first in firsts]
+        assert_rates_match(solver.solve(), reference, ids)
+
+    @given(problem=maxmin_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_resolve_is_stable_across_repeat_solves(self, problem):
+        links, paths = problem
+        solver = MaxMinSolver(links)
+        for path in paths:
+            solver.add_flow(path)
+        assert solver.solve() == solver.solve()
