@@ -1,15 +1,25 @@
 #!/usr/bin/env python
-"""Check that ARCHITECTURE.md's code references actually exist.
+"""Check that the documentation set and the tree agree.
 
-The paper-to-code map is only useful while it is true.  This script
-extracts every path-shaped reference from ARCHITECTURE.md — module
-paths like ``switch/pfc.py`` or ``core/deadlock.py`` (resolved under
-``src/repro/``), package references like ``monitoring/``, and repo-level
-files like ``examples/quickstart.py`` or ``docs/benchmarking.md`` — and
-fails if any of them is missing from the tree.  CI runs it so a rename
-or deletion cannot silently orphan the documentation.
+The paper-to-code map is only useful while it is true.  Three checks,
+all run by CI:
 
-Usage: python scripts/check_architecture_docs.py [path-to-ARCHITECTURE.md]
+1. **References exist** — every path-shaped reference in
+   ARCHITECTURE.md (module paths like ``switch/pfc.py`` resolved under
+   ``src/repro/``, package references like ``monitoring/``, repo-level
+   files like ``examples/quickstart.py`` or ``docs/benchmarking.md``)
+   must exist in the tree, so a rename or deletion cannot silently
+   orphan the documentation.
+2. **The docs index is complete** — every markdown file under
+   ``docs/`` must be linked from ``docs/README.md``, so a new handbook
+   cannot land undiscoverable.
+3. **The architecture map is complete** — every package under
+   ``src/repro/`` must be mentioned in ARCHITECTURE.md, so a new
+   subsystem cannot land unmapped.
+
+Usage: python scripts/check_architecture_docs.py            # all checks
+       python scripts/check_architecture_docs.py SOME.md    # check 1 only,
+                                                            # on SOME.md
 """
 
 import os
@@ -74,9 +84,8 @@ def _exists(path):
     return os.path.exists(os.path.join(REPO_ROOT, path.rstrip("/")))
 
 
-def main(argv=None):
-    argv = sys.argv[1:] if argv is None else argv
-    doc_path = argv[0] if argv else os.path.join(REPO_ROOT, "ARCHITECTURE.md")
+def check_references(doc_path):
+    """Check 1: every path-shaped reference in ``doc_path`` exists."""
     with open(doc_path) as handle:
         markdown = handle.read()
 
@@ -98,6 +107,69 @@ def main(argv=None):
         % (doc_name, checked, REPO_ROOT)
     )
     return 0
+
+
+def check_docs_index():
+    """Check 2: every markdown file under docs/ is linked from the index."""
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    index_path = os.path.join(docs_dir, "README.md")
+    if not os.path.exists(index_path):
+        print("docs/README.md: MISSING (the documentation index)")
+        return 1
+    with open(index_path) as handle:
+        targets = {
+            os.path.normpath(m.group(1))
+            for m in _LINK_TARGET_RE.finditer(handle.read())
+        }
+    unlinked = [
+        name
+        for name in sorted(os.listdir(docs_dir))
+        if name.endswith(".md")
+        and name != "README.md"
+        and name not in targets
+    ]
+    if unlinked:
+        print("docs/README.md does not link %d doc(s):" % len(unlinked))
+        for name in unlinked:
+            print("  UNLINKED  docs/%s" % name)
+        return 1
+    print(
+        "docs/README.md: indexes all %d docs"
+        % sum(1 for n in os.listdir(docs_dir)
+              if n.endswith(".md") and n != "README.md")
+    )
+    return 0
+
+
+def check_package_coverage():
+    """Check 3: every src/repro package is mentioned in ARCHITECTURE.md."""
+    with open(os.path.join(REPO_ROOT, "ARCHITECTURE.md")) as handle:
+        markdown = handle.read()
+    packages = sorted(
+        name
+        for name in os.listdir(SRC_ROOT)
+        if os.path.isfile(os.path.join(SRC_ROOT, name, "__init__.py"))
+    )
+    unmapped = [name for name in packages if (name + "/") not in markdown]
+    if unmapped:
+        print("ARCHITECTURE.md does not mention %d package(s):"
+              % len(unmapped))
+        for name in unmapped:
+            print("  UNMAPPED  src/repro/%s/" % name)
+        return 1
+    print("ARCHITECTURE.md: covers all %d src/repro packages"
+          % len(packages))
+    return 0
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        return check_references(argv[0])
+    status = check_references(os.path.join(REPO_ROOT, "ARCHITECTURE.md"))
+    status |= check_docs_index()
+    status |= check_package_coverage()
+    return status
 
 
 if __name__ == "__main__":

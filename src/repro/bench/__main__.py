@@ -15,6 +15,7 @@ import sys
 
 from repro.bench.harness import (
     build_report,
+    collect_telemetry,
     load_baseline,
     run_benchmarks,
     write_baseline,
@@ -39,6 +40,12 @@ def main(argv=None):
         "--profile",
         action="store_true",
         help="add a cProfile pass attributing time per subsystem",
+    )
+    parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        help="also run each scenario once instrumented (untimed) and write "
+        "telemetry artifacts to DIR (see docs/telemetry.md)",
     )
     parser.add_argument(
         "--out",
@@ -81,6 +88,14 @@ def main(argv=None):
         profile=args.profile,
         progress=lambda line: print(line, file=sys.stderr),
     )
+
+    if args.telemetry:
+        collect_telemetry(
+            scenarios,
+            args.telemetry,
+            seed=args.seed,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
 
     if args.write_baseline:
         path = write_baseline(scenarios, args.write_baseline)

@@ -86,6 +86,7 @@ def _campaign_kwargs(args):
         retries=args.retries,
         inline=args.inline,
         echo=(lambda line: None) if args.quiet else print,
+        telemetry=args.telemetry,
     )
 
 
@@ -158,6 +159,9 @@ def _add_exec_options(parser):
                         help="extra attempts after a failed/hung run (default 1)")
     parser.add_argument("--no-cache", action="store_true",
                         help="recompute everything; do not read or write the cache")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="collect telemetry per run (writes telemetry/*.jsonl "
+                        "into the campaign dir; implies --no-cache semantics)")
     parser.add_argument("--cache-dir", default=None,
                         help="result cache location (default: $REPRO_CAMPAIGN_CACHE or %s)"
                         % default_cache_dir())

@@ -37,17 +37,31 @@ def execute_run(payload):
     process, the seed (when present) is passed as the runner's ``seed``
     keyword, and the result is reduced to plain JSON-serializable data
     so it can cross the process boundary and land in the cache.
+
+    With ``payload["telemetry"]`` set, the run executes with the
+    telemetry hub armed (every fabric the runner boots gets a collection
+    session -- see :mod:`repro.telemetry`) and the drained session
+    records ride back in the result as ``telemetry_sessions``.
     """
     runner = resolve_ref(payload["ref"])
     kwargs = dict(payload["params"])
     if payload.get("seed") is not None:
         kwargs["seed"] = payload["seed"]
+    collect = bool(payload.get("telemetry"))
+    if collect:
+        from repro import telemetry
+
+        telemetry.arm(telemetry.TelemetryConfig(label=payload["run_id"]))
     started = time.monotonic()
-    result = runner(**kwargs)
+    try:
+        result = runner(**kwargs)
+    finally:
+        if collect:
+            telemetry.disarm()
     duration_s = time.monotonic() - started
     schema = result.check_schema()
     rows = result.normalized_rows()
-    return {
+    out = {
         "run_id": payload["run_id"],
         "title": result.title,
         "schema": schema,
@@ -55,6 +69,9 @@ def execute_run(payload):
         "duration_s": duration_s,
         "violations": _violation_count(rows),
     }
+    if collect:
+        out["telemetry_sessions"] = telemetry.drain()
+    return out
 
 
 def _violation_count(rows):
@@ -107,12 +124,18 @@ class Campaign:
     """Orchestrate one spec into one campaign directory."""
 
     def __init__(self, spec, out_dir, registry=None, cache=None, use_cache=True,
-                 jobs=None, timeout_s=900.0, retries=1, inline=False, echo=print):
+                 jobs=None, timeout_s=900.0, retries=1, inline=False, echo=print,
+                 telemetry=False):
         self.spec = spec
         self.store = CampaignStore(out_dir)
         self.registry = registry or DEFAULT_REGISTRY
         self.cache = cache if cache is not None else ResultCache()
-        self.use_cache = use_cache
+        # Telemetry-enabled runs bypass the cache entirely: the artifact
+        # is a side product the cached row payload does not carry, and
+        # the instrumented event schedule differs from the plain one, so
+        # neither direction of reuse would be honest.
+        self.telemetry = telemetry
+        self.use_cache = use_cache and not telemetry
         self.jobs = jobs or pool.default_jobs()
         self.timeout_s = timeout_s
         self.retries = retries
@@ -173,6 +196,8 @@ class Campaign:
         for run, key in misses:
             task_payload = run.describe()
             task_payload["run_id"] = run.run_id
+            if self.telemetry:
+                task_payload["telemetry"] = True
             tasks.append((run.run_id, task_payload))
             keys[run.run_id] = key
 
@@ -244,6 +269,11 @@ class Campaign:
         jsonl, csv_path = self.store.write_run_artifacts(
             run_id, payload["schema"], payload["rows"]
         )
+        telemetry_paths = None
+        if payload.get("telemetry_sessions"):
+            telemetry_paths = self.store.write_telemetry_artifacts(
+                run_id, payload["telemetry_sessions"]
+            )
         entry = manifest["runs"][run_id]
         entry.update(
             status=OK,
@@ -257,6 +287,8 @@ class Campaign:
             jsonl=jsonl,
             csv=csv_path,
         )
+        if telemetry_paths is not None:
+            entry["telemetry"] = telemetry_paths
         manifest["updated"] = _now_iso()
         self.store.save_manifest(manifest)
 

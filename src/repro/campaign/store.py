@@ -6,6 +6,8 @@ A campaign directory is self-describing::
       manifest.json      # spec, code version, per-run status/timings/violations
       runs/<run_id>.jsonl  # one canonical JSON object per result row
       csv/<run_id>.csv     # the same rows for spreadsheet consumption
+      telemetry/<run_id>-<i>.telemetry.jsonl  # with --telemetry: one per
+                                              # fabric the run booted
 
 The manifest is rewritten atomically after every run completion, so an
 interrupted campaign (ctrl-C, OOM, power) can always be ``resume``\\ d:
@@ -21,6 +23,7 @@ import tempfile
 MANIFEST_NAME = "manifest.json"
 RUNS_DIR = "runs"
 CSV_DIR = "csv"
+TELEMETRY_DIR = "telemetry"
 
 
 def _atomic_write(path, text):
@@ -68,6 +71,26 @@ class CampaignStore:
             for row in rows:
                 writer.writerow(row)
         return jsonl_path, csv_path
+
+    def write_telemetry_artifacts(self, run_id, session_record_lists):
+        """Write one telemetry JSONL per collection session of a run.
+
+        A run may boot several fabrics (each gets its own session), so
+        artifacts are suffixed ``-<i>`` in boot order.  The format is
+        the canonical ``repro-telemetry/1`` JSONL readable by ``python
+        -m repro.telemetry summarize``.  Returns the written paths.
+        """
+        paths = []
+        for index, records in enumerate(session_record_lists):
+            path = os.path.join(
+                self.out_dir, TELEMETRY_DIR,
+                "%s-%d.telemetry.jsonl" % (run_id, index),
+            )
+            _atomic_write(path, "".join(
+                json.dumps(record, sort_keys=True) + "\n" for record in records
+            ))
+            paths.append(path)
+        return paths
 
     def read_run_rows(self, run_id):
         """Rows from a run's JSONL artifact (None when absent/corrupt)."""

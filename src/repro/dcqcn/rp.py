@@ -27,6 +27,7 @@ sent).  Counting events since the last CNP as ``T`` (timer) and ``B``
 
 from repro.sim.timer import Timer
 from repro.sim.units import MB, US
+from repro.telemetry.hooks import HUB as _TELEMETRY
 
 
 class DcqcnConfig:
@@ -72,6 +73,9 @@ class ReactionPoint:
         self.cnps_handled = 0
         self.rate_decreases = 0
         self.rate_increases = 0
+        # Telemetry attribution: the owning host's name (set by
+        # :func:`enable_dcqcn`; "" for standalone RPs in unit tests).
+        self.owner = ""
 
     @property
     def rate_bps(self):
@@ -97,6 +101,8 @@ class ReactionPoint:
         self._bytes_since_event = 0
         self._alpha_timer.start(config.alpha_timer_ns)
         self._rate_timer.start(config.rate_timer_ns)
+        if _TELEMETRY.enabled:
+            _TELEMETRY.session.on_rate_decrease(self)
 
     # -- quiet-period dynamics ------------------------------------------------------
 
@@ -148,5 +154,6 @@ def enable_dcqcn(qp, config=None):
     if link is None:
         raise RuntimeError("enable_dcqcn: host %s is not connected yet" % qp.host.name)
     rp = ReactionPoint(qp.sim, line_rate_bps=link.rate_bps, config=config)
+    rp.owner = qp.host.name
     qp.rp = rp
     return rp

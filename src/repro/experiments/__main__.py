@@ -27,6 +27,11 @@ def main(argv=None):
     parser.add_argument("--list", action="store_true", help="list available experiments")
     parser.add_argument("--all", action="store_true", help="run everything")
     parser.add_argument("--csv-dir", help="also write one CSV per experiment here")
+    parser.add_argument(
+        "--telemetry-dir",
+        help="collect fabric telemetry per experiment; writes "
+        "<id>-<i>.telemetry.jsonl here (see docs/telemetry.md)",
+    )
     args = parser.parse_args(argv)
 
     if args.list or (not args.which and not args.all):
@@ -49,10 +54,29 @@ def main(argv=None):
         entry = CATALOG[exp_id]
         runner = entry.resolve()
         started = time.time()
-        result = runner()
+        if args.telemetry_dir:
+            from repro import telemetry
+
+            telemetry.arm(telemetry.TelemetryConfig(label=exp_id))
+            try:
+                result = runner()
+            finally:
+                telemetry.disarm()
+            sessions = telemetry.drain()
+            paths = telemetry.write_artifacts(
+                sessions, args.telemetry_dir, exp_id.lower()
+            )
+        else:
+            sessions, paths = [], []
+            result = runner()
         print(result.format_table())
         print("[%s finished in %.1fs]" % (exp_id, time.time() - started))
         print()
+        if paths:
+            print(
+                "telemetry: %d artifact(s), %d incident(s) -> %s"
+                % (len(paths), telemetry.incident_count(sessions), args.telemetry_dir)
+            )
         if args.csv_dir:
             path = os.path.join(args.csv_dir, "%s.csv" % exp_id.lower())
             result.to_csv(path)

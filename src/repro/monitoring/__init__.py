@@ -15,6 +15,20 @@ capabilities the paper describes:
   error code;
 * :mod:`~repro.monitoring.incidents` -- detectors over the collected
   counters (pause storms, unavailable servers).
+
+Relation to :mod:`repro.telemetry`
+----------------------------------
+This package *models the paper's management plane inside the
+simulation*: Pingmesh probes are real simulated RDMA traffic, config
+drift is checked against simulated device state, and experiments (E9,
+E10) reproduce the paper's figures from these components.
+:mod:`repro.telemetry` is the other way around -- an out-of-band
+observability layer for the simulator itself (hot-path hooks, a metric
+catalog, online detectors, JSONL artifacts) that never injects traffic
+or perturbs a run.  The polling half of :mod:`~repro.monitoring.counters`
+has been absorbed into the telemetry session (same settle-then-sample
+semantics, a richer catalog); see that module's notes for migration
+pointers.
 """
 
 from repro.monitoring.config_mgmt import ConfigDrift, ConfigMonitor, DesiredConfig

@@ -5,6 +5,12 @@ configurations of the switches and the servers are the same as their
 desired configurations."  The section 6.2 incident -- a new switch type
 shipping with alpha = 1/64 instead of the expected 1/16 -- is exactly
 the class of bug this service exists to catch.
+
+Config drift is a *state* check (compare once, no clock); it neither
+needs nor feeds the :mod:`repro.telemetry` hub.  The two meet in
+triage: a drift found here often explains an incident telemetry raised
+-- the alpha-misconfig story is "queue_watermark incidents on one
+switch type, ConfigMonitor names the drifted field".
 """
 
 

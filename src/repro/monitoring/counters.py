@@ -5,12 +5,38 @@ per-priority traffic bytes/packets, drops, and cumulative pause
 intervals.  The paper monitors exactly these ("we monitor the number of
 pause frames been sent and received by the switches and servers.  We
 further monitor the pause intervals at the server side").
+
+.. note:: absorbed by :mod:`repro.telemetry`
+
+   The unified telemetry subsystem polls the same counters with the
+   same settle-then-sample discipline (``switch.settle_trains()`` before
+   reading per-port stats, ``port.paused_interval_ns()`` to book the
+   open pause interval) but against a declared metric catalog, with ring
+   series, online detectors and JSONL/CSV/Prometheus exporters on top.
+   New code should prefer ``telemetry.arm()`` + ``Fabric.boot()`` (or
+   the ``--telemetry`` flags of the bench/campaign/validation CLIs); the
+   re-exports below point migrating callers at the replacements.
+
+   :class:`CounterCollector` itself stays: it is the *in-model*
+   management-plane collector the paper-section-5 experiments drive
+   explicitly, needs no global hub, and its query helpers
+   (:meth:`~CounterCollector.rate_series`, ...) are used by
+   :mod:`repro.monitoring.incidents` for the offline section-6.2 scans.
 """
 
 import collections
 
 from repro.sim.timer import Timer
 from repro.sim.units import MS
+
+# Migration re-exports: the telemetry layer that absorbed this module's
+# polling role (kept importable from here so call sites that grew up on
+# ``monitoring.counters`` find the successor in the obvious place).
+from repro.telemetry.registry import CATALOG as TELEMETRY_CATALOG  # noqa: F401
+from repro.telemetry.session import (  # noqa: F401
+    TelemetryConfig,
+    TelemetrySession,
+)
 
 
 class Snapshot:

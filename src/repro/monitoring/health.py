@@ -7,6 +7,12 @@ those states from Pingmesh results the way the incident was actually
 seen: a server whose probes (as a destination) keep failing goes F;
 once probes succeed again it passes through P (probation) before being
 declared H.
+
+The tracker consumes Pingmesh :class:`ProbeResult` streams and knows
+nothing of the telemetry layer; the complementary signal in a telemetry
+artifact is the ``victim_flow`` incident, which flags hosts starved by
+pause pressure from counters alone, no probe traffic needed (see
+docs/telemetry.md).
 """
 
 import enum

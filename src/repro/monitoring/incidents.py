@@ -6,6 +6,16 @@ number of PFC pause frames."  The detector flags windows where a
 device's pause receive (or transmit) rate exceeds a threshold, and
 identifies the origin device -- the paper "was able to trace down the
 origin of the PFC pause frames to a single server".
+
+This is the *offline* scan over a finished
+:class:`~repro.monitoring.counters.CounterCollector` trace.  The
+:mod:`repro.telemetry.detectors` stack is its evolved form: the same
+storm discrimination (plus propagation-depth, ECN-rate, watermark and
+victim-flow detectors) running *online* during collection, with
+role-aware thresholds calibrated in docs/telemetry.md and structured
+incident records in the artifact.  Keep using this one when an
+experiment drives a CounterCollector by hand; reach for telemetry when
+a whole run should be observed.
 """
 
 

@@ -9,6 +9,13 @@ A probe here is a 512-byte SEND whose RTT is the post-to-completion time
 both ways).  A probe that does not complete within the timeout is logged
 as an error -- exactly how the paper infers "RDMA is working well or
 not".
+
+Unlike :mod:`repro.telemetry` (passive, out-of-band observation of the
+simulator), Pingmesh is *active* measurement: its probes are real
+simulated RDMA traffic that competes for queues and can itself be
+paused -- which is the point, since that is what makes probe failure a
+fabric-health signal.  A telemetry session attached to the same fabric
+will therefore see the probe traffic in its port counters.
 """
 
 from repro.rdma.qp import QpConfig

@@ -23,6 +23,7 @@ from repro.packets.pause import N_PRIORITIES, pause_quanta_to_ns
 from repro.sim.engine import _ATIME_SHIFT
 from repro.sim.timer import Timer
 from repro.sim.units import serialization_delay_ns
+from repro.telemetry.hooks import HUB as _TELEMETRY
 
 #: Cap on how many frames one committed train may cover.  Bounds the
 #: worst-case cancellation work when a train is interrupted.
@@ -434,6 +435,8 @@ class Port:
                 self._paused_until[priority] = now + duration
                 self.stats.pause_rx += 1
                 got_pause = True
+                if _TELEMETRY.enabled:
+                    _TELEMETRY.session.on_pause_rx(self, duration)
         self._sync_pause_accounting()
         if got_pause:
             self._arm_wake()

@@ -34,6 +34,7 @@ from repro.net.device import Device
 from repro.nic.mtt import MttCache
 from repro.sim.timer import Timer
 from repro.sim.units import KB, MS
+from repro.telemetry.hooks import HUB as _TELEMETRY
 
 
 class NicWatchdogConfig:
@@ -148,6 +149,8 @@ class Nic(Device):
         """Reproduce the section 4.3 NIC bug: the receive pipeline stops
         and the NIC emits pause frames continuously."""
         self._pipeline_broken = True
+        if _TELEMETRY.enabled:
+            _TELEMETRY.session.on_fault(self.name, "rx_pipeline_broken")
         self._assert_pause()
 
     def repair(self):
@@ -335,6 +338,8 @@ class Nic(Device):
     def _trip_watchdog(self):
         self.pause_generation_disabled = True
         self.watchdog_trips += 1
+        if _TELEMETRY.enabled:
+            _TELEMETRY.session.on_nic_watchdog(self)
         self._pause_refresh.cancel()
         self._rx_paused_upstream = False
         # One final XON so the ToR port is not left paused for a full

@@ -21,6 +21,7 @@ below the threshold in force at release-evaluation time.
 """
 
 from repro.sim.units import KB, MB, SEC, propagation_delay_ns, serialization_delay_ns
+from repro.telemetry.hooks import HUB as _TELEMETRY
 
 
 def headroom_bytes(rate_bps, cable_meters, mtu_bytes=1100, response_ns=1000):
@@ -169,6 +170,9 @@ class SharedBuffer:
         self.lossy_drops = 0
         self.headroom_overflow_drops = 0
         self.peak_shared_in_use = 0
+        # Telemetry attribution: the owning switch's name (set by
+        # ``Switch.finalize``; "" for buffers built standalone in tests).
+        self.owner_name = ""
 
     def pg(self, port_idx, priority):
         key = (port_idx, priority)
@@ -235,9 +239,13 @@ class SharedBuffer:
         # Lossless and over threshold: spill into this PG's headroom.
         if state.headroom_used + nbytes > config.headroom_per_pg_bytes:
             self.headroom_overflow_drops += 1
+            if _TELEMETRY.enabled:
+                _TELEMETRY.session.on_buffer_drop(self.owner_name, True)
             return False
         state.headroom_used += nbytes
         self.headroom_in_use += nbytes
+        if _TELEMETRY.enabled:
+            _TELEMETRY.session.on_headroom_spill(self.owner_name, nbytes)
         return True
 
     def _charge(self, state, nbytes):

@@ -14,6 +14,7 @@ threshold is hit, so DCQCN's Kmin/Kmax sit well below XOFF.
 """
 
 from repro.sim.units import KB
+from repro.telemetry.hooks import HUB as _TELEMETRY
 
 
 class EcnConfig:
@@ -43,9 +44,13 @@ class EcnConfig:
         probability = self.mark_probability(queue_bytes)
         if probability <= 0.0:
             return False
-        if probability >= 1.0:
-            return True
-        return rng.random() < probability
+        if probability < 1.0 and not rng.random() < probability:
+            return False
+        # Telemetry sees the queue depth at every mark (the histogram
+        # that answers "where inside [Kmin, Kmax] do we actually mark?").
+        if _TELEMETRY.enabled:
+            _TELEMETRY.session.on_ecn_mark(queue_bytes)
+        return True
 
     def __repr__(self):
         return "EcnConfig(Kmin=%dB, Kmax=%dB, Pmax=%.3f%s)" % (

@@ -10,6 +10,7 @@ the XON threshold -- exactly the mechanism of the paper's figure 2.
 from repro.packets.packet import Packet, PriorityMode
 from repro.packets.pause import MAX_QUANTA, PfcPauseFrame, pause_quanta_to_ns
 from repro.sim.timer import Timer
+from repro.telemetry.hooks import HUB as _TELEMETRY
 
 
 class PfcConfig:
@@ -146,6 +147,8 @@ class PauseSignaler:
         frame = PfcPauseFrame({self.priority: quanta})
         self._emit(frame)
         self.pauses_sent += 1
+        if _TELEMETRY.enabled:
+            _TELEMETRY.session.on_pfc_pause(self.switch)
         if self.port.link is not None:
             duration = pause_quanta_to_ns(quanta, self.port.link.rate_bps)
             self._refresh.start(max(1, duration // 2))
@@ -153,6 +156,8 @@ class PauseSignaler:
     def _send_resume(self):
         self._emit(PfcPauseFrame.resume([self.priority]))
         self.resumes_sent += 1
+        if _TELEMETRY.enabled:
+            _TELEMETRY.session.on_pfc_resume(self.switch)
 
     def _emit(self, frame):
         if self.port.link is None:

@@ -29,6 +29,7 @@ from repro.switch.ecn import EcnConfig
 from repro.switch.forwarding import ForwardingTables
 from repro.switch.pfc import PauseSignaler, PfcConfig
 from repro.switch.watchdog import PortStormWatchdog, SwitchWatchdogConfig
+from repro.telemetry.hooks import HUB as _TELEMETRY
 
 
 class _BufferClaim:
@@ -204,6 +205,8 @@ class Switch(Device):
                 n_ports=len(self.ports),
                 lossless_priorities=self.pfc_config.lossless_priorities,
             )
+            # Telemetry attributes buffer-level signals to this switch.
+            self.buffer.owner_name = self.name
         return self
 
     def enable_storm_watchdog(self, config=None):
@@ -554,6 +557,8 @@ class Switch(Device):
 
     def on_watchdog_trip(self, port):
         """Switch watchdog: disable lossless mode on ``port``."""
+        if _TELEMETRY.enabled:
+            _TELEMETRY.session.on_switch_watchdog(self, port)
         self._uncoalesce_trains()
         self._lossless_disabled_ports.add(port.index)
         # Stop honouring the pause state the NIC already imposed.

@@ -1,0 +1,79 @@
+"""Unified fabric observability: metrics, detectors, exporters.
+
+This package is the simulator's counterpart of the paper's §4 operations
+story -- the continuously collected pause/ECN/buffer/transport signals
+and the incident detection built on top of them.  It has four parts:
+
+``hooks``
+    The process-global :data:`~repro.telemetry.hooks.HUB` whose single
+    ``enabled`` flag gates every hot-path probe (disabled costs one
+    attribute load + branch; nothing else runs).
+``registry`` / ``session``
+    Metric primitives (counters/gauges/histograms + ring series behind a
+    declared catalog) and the per-run collection session that polls the
+    fabric and receives the hook pushes.
+``detectors``
+    Online pause-storm, pause-propagation, ECN mark-rate, queue
+    watermark and victim-flow detectors emitting structured incidents.
+``export``
+    JSONL artifact (canonical), CSV and Prometheus-style text views, a
+    human summary and an offline detector replay.
+
+Typical embedding (what ``repro.bench --telemetry``, ``repro.campaign
+--telemetry``, ``repro.validation sweep --telemetry`` and the experiment
+CLI's ``--telemetry-dir`` do)::
+
+    from repro import telemetry
+
+    telemetry.arm(telemetry.TelemetryConfig(label="my-run"))
+    ...build fabrics and run (Fabric.boot auto-attaches a session)...
+    for records in telemetry.drain():
+        telemetry.write_jsonl(records, path)
+
+See docs/telemetry.md for the operator's handbook and ``python -m
+repro.telemetry --help`` for the artifact CLI.
+"""
+
+from repro.telemetry.detectors import (
+    DetectorThresholds,
+    Incident,
+    build_detectors,
+)
+from repro.telemetry.export import (
+    incident_count,
+    prometheus_text,
+    read_jsonl,
+    replay_detectors,
+    split_records,
+    summarize,
+    write_artifacts,
+    write_csv,
+    write_jsonl,
+)
+from repro.telemetry.hooks import HUB, arm, disarm, drain, maybe_attach
+from repro.telemetry.registry import CATALOG, MetricRegistry
+from repro.telemetry.session import TelemetryConfig, TelemetrySession
+
+__all__ = [
+    "HUB",
+    "arm",
+    "disarm",
+    "drain",
+    "maybe_attach",
+    "TelemetryConfig",
+    "TelemetrySession",
+    "DetectorThresholds",
+    "Incident",
+    "build_detectors",
+    "MetricRegistry",
+    "CATALOG",
+    "write_jsonl",
+    "read_jsonl",
+    "write_artifacts",
+    "incident_count",
+    "write_csv",
+    "prometheus_text",
+    "summarize",
+    "split_records",
+    "replay_detectors",
+]

@@ -1,0 +1,101 @@
+"""The global telemetry hub: the single is-enabled gate the hot paths check.
+
+Every instrumented module (``net/port.py``, ``switch/{buffer,pfc,ecn,
+switch}.py``, ``nic/nic.py``, ``rdma/qp.py``, ``dcqcn/rp.py``) imports
+:data:`HUB` once at module load and guards each probe with one attribute
+test::
+
+    from repro.telemetry.hooks import HUB as _TELEMETRY
+    ...
+    if _TELEMETRY.enabled:
+        _TELEMETRY.session.on_pause_rx(port, pauses, resumes, duration_ns)
+
+``HUB.enabled`` is a plain bool on a ``__slots__`` object, so the
+disabled path costs one load + one branch and nothing else: no event is
+scheduled, no RNG drawn, no counter touched -- which is what keeps every
+bench fingerprint in ``benchmarks/BASELINE.json`` byte-identical with
+telemetry off (asserted by ``tests/test_telemetry.py``).
+
+This module is deliberately import-light (stdlib only, no simulator or
+device imports) so the device layers can depend on it without cycles.
+The session/registry machinery lives in the sibling modules and is only
+reached *through* the hub while a session is active.
+
+Lifecycle
+---------
+``enabled``/``session`` are set by :class:`~repro.telemetry.session.
+TelemetrySession.start` and cleared by ``stop``.  ``armed`` holds a
+pending :class:`~repro.telemetry.session.TelemetryConfig`: while set,
+:func:`maybe_attach` (called from ``Fabric.boot``) auto-attaches a new
+session to every fabric that boots -- that is how the bench, campaign,
+validation and experiment CLIs opt whole runs into collection without
+threading a flag through every runner.  Finished sessions accumulate in
+``completed`` until :func:`drain` collects their artifact lines.
+"""
+
+
+class TelemetryHub:
+    """Process-global mutable telemetry state (one per interpreter)."""
+
+    __slots__ = ("enabled", "session", "armed", "completed")
+
+    def __init__(self):
+        self.enabled = False
+        self.session = None
+        self.armed = None
+        self.completed = []
+
+
+#: The one hub instance.  Hot paths alias it as ``_TELEMETRY``.
+HUB = TelemetryHub()
+
+
+def arm(config=None):
+    """Arm auto-attach: every subsequent ``Fabric.boot()`` starts a
+    telemetry session on that fabric (closing the previous one first).
+    Pass a :class:`~repro.telemetry.session.TelemetryConfig` to tune
+    intervals/thresholds; ``None`` uses defaults.  Returns the config.
+    """
+    from repro.telemetry.session import TelemetryConfig
+
+    if config is None:
+        config = TelemetryConfig()
+    HUB.armed = config
+    return config
+
+
+def disarm():
+    """Stop auto-attaching; closes any live session into ``completed``."""
+    HUB.armed = None
+    if HUB.session is not None:
+        HUB.session.stop()
+
+
+def maybe_attach(fabric):
+    """Called by ``Fabric.boot``: attach a session when the hub is armed.
+
+    A still-open previous session (the armed CLIs run scenario after
+    scenario) is closed first so its artifact lands in ``completed``.
+    Returns the new session, or None when the hub is not armed.
+    """
+    if HUB.armed is None:
+        return None
+    if HUB.session is not None:
+        HUB.session.stop()
+    from repro.telemetry.session import TelemetrySession
+
+    return TelemetrySession(fabric, HUB.armed).start()
+
+
+def drain():
+    """Collect and clear every finished session's artifact lines.
+
+    Closes the live session (if any) first.  Returns a list with one
+    entry per session, each a list of artifact record dicts in emission
+    order (meta line first).
+    """
+    if HUB.session is not None:
+        HUB.session.stop()
+    artifacts = [session.artifact_records() for session in HUB.completed]
+    HUB.completed = []
+    return artifacts

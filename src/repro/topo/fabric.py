@@ -115,8 +115,19 @@ class Fabric:
 
     def boot(self, settle_ns=100_000):
         """Finalize, announce every host (gratuitous ARP) and run the
-        simulator briefly so switch tables populate."""
+        simulator briefly so switch tables populate.
+
+        When the telemetry hub is armed (``repro.telemetry.arm``) a
+        collection session attaches to this fabric here -- that is how
+        the bench/campaign/validation/experiment CLIs opt whole runs
+        into telemetry without threading flags through every runner.
+        With the hub disarmed (the default) this is a no-op.
+        """
         self.finalize()
+        from repro.telemetry.hooks import HUB, maybe_attach
+
+        if HUB.armed is not None:
+            maybe_attach(self)
         for host in self.hosts:
             host.boot()
         self.sim.run(until=self.sim.now + settle_ns)

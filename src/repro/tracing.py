@@ -13,6 +13,18 @@ and usable from tests to assert on wire-level behaviour.
 
 Records are plain dicts, cheap to filter and serialize.  Tracing is
 strictly observational: attaching never changes simulation behaviour.
+
+Tracing and :mod:`repro.telemetry` are the two granularities of the
+same observability story: the tracer captures *every frame* on chosen
+links (a packet capture -- exact but heavy, bounded by ``max_records``),
+while telemetry aggregates *counters* fabric-wide on a poll interval
+and runs incident detectors over them.  Triage typically starts from a
+telemetry incident ("pause_storm on P0T0-S0.nic at t=2ms") and drops
+down to a tracer attached around the implicated links to see the
+individual pause frames; docs/telemetry.md walks through exactly that.
+Note one behavioural difference: telemetry's poll timer does add events
+to the simulation schedule (changing determinism fingerprints), whereas
+an attached tracer never does.
 """
 
 import json

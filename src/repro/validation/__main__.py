@@ -69,6 +69,13 @@ def _sweep_args(parser):
     parser.add_argument("--fail-fast", action="store_true")
     parser.add_argument("--artifacts", default=DEFAULT_ARTIFACT_DIR)
     parser.add_argument("--jsonl", default=None, help="write sweep rows here")
+    parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help="collect telemetry for every swept scenario; writes one "
+        "sweep-<i>.telemetry.jsonl per fabric into DIR",
+    )
 
 
 def _cmd_sweep(args):
@@ -82,15 +89,30 @@ def _cmd_sweep(args):
         "validation sweep: %d scenario(s) from seed %d%s"
         % (args.seeds, args.start, "" if args.no_metamorphic else " (+metamorphic)")
     )
-    result = run_validation_sweep(
-        seeds=args.seeds,
-        start=args.start,
-        metamorphic=not args.no_metamorphic,
-        shrink=not args.no_shrink,
-        artifact_dir=args.artifacts,
-        fail_fast=args.fail_fast,
-        progress=progress,
-    )
+    if args.telemetry:
+        from repro import telemetry
+
+        telemetry.arm(telemetry.TelemetryConfig(label="validation-sweep"))
+    try:
+        result = run_validation_sweep(
+            seeds=args.seeds,
+            start=args.start,
+            metamorphic=not args.no_metamorphic,
+            shrink=not args.no_shrink,
+            artifact_dir=args.artifacts,
+            fail_fast=args.fail_fast,
+            progress=progress,
+        )
+    finally:
+        if args.telemetry:
+            telemetry.disarm()
+    if args.telemetry:
+        sessions = telemetry.drain()
+        paths = telemetry.write_artifacts(sessions, args.telemetry, "sweep")
+        print(
+            "telemetry: %d artifact(s), %d incident(s) -> %s"
+            % (len(paths), telemetry.incident_count(sessions), args.telemetry)
+        )
     if args.jsonl:
         result.to_jsonl(args.jsonl)
         print("rows -> %s" % args.jsonl)

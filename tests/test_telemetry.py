@@ -1,0 +1,491 @@
+"""Tests for the unified telemetry subsystem (``repro.telemetry``).
+
+Four layers, mirroring the subsystem's structure:
+
+1. **Registry units** -- counters/gauges/histograms/ring series and the
+   declared catalog's internal consistency.
+2. **Disabled-by-default purity** -- the telemetry-off bench guard: with
+   the hub disarmed, pinned scenarios reproduce their
+   ``benchmarks/BASELINE.json`` fingerprints *byte-identically* and fire
+   the exact same event counts.  (Events/s is wall-clock dependent and
+   asserted by the bench CLI against the baseline, not here -- a timing
+   assert in tier-1 would flake on loaded CI workers; identical events +
+   identical fingerprint proves identical work.)
+3. **Detector semantics** -- synthetic windows driving every detector
+   through fire / stay-silent / close transitions, including the
+   calibration fact the thresholds encode: healthy congested fabrics
+   show heavy *switch* pause rates (no storm) while any sustained *host*
+   pause generation is pathological.
+4. **End-to-end** -- the §4.3 storm experiment with telemetry armed
+   produces pause-storm incidents (and the CLI renders them); the
+   healthy ``clos_slice`` scenario stays incident-free; offline replay
+   reproduces the online pause-storm verdicts.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import telemetry
+from repro.bench.harness import collect_telemetry, load_baseline, run_benchmarks
+from repro.bench.scenarios import SCENARIOS
+from repro.telemetry import __main__ as telemetry_cli
+from repro.telemetry.detectors import (
+    DetectorThresholds,
+    EcnMarkRateDetector,
+    PausePropagationDetector,
+    PauseStormDetector,
+    QueueWatermarkDetector,
+    VictimFlowDetector,
+)
+from repro.telemetry.hooks import HUB
+from repro.telemetry.registry import (
+    CATALOG,
+    CATALOG_BY_NAME,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    RingSeries,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE_PATH = os.path.join(REPO_ROOT, "benchmarks", "BASELINE.json")
+
+MS = 1_000_000
+
+
+@pytest.fixture(autouse=True)
+def _hub_hygiene():
+    """No test may leak an armed hub or live session into the suite."""
+    yield
+    telemetry.disarm()
+    telemetry.drain()
+    assert not HUB.enabled and HUB.session is None
+
+
+# -- 1. registry units -------------------------------------------------------
+
+
+class TestRegistryPrimitives:
+    def test_counter(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+        counter.set_absolute(100)
+        assert counter.value == 100
+
+    def test_gauge_tracks_peak(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.set(3)
+        assert gauge.value == 3
+        assert gauge.peak == 10
+
+    def test_histogram_power_of_two_buckets(self):
+        histogram = Histogram()
+        for value in (0, 1, 2, 3, 4, 1000):
+            histogram.observe(value)
+        # 0 -> bucket 0, 1 -> 1, 2..3 -> 2, 4 -> 3, 1000 -> 10.
+        assert histogram.buckets == {0: 1, 1: 1, 2: 2, 3: 1, 10: 1}
+        assert histogram.count == 6
+        assert histogram.total == 1010
+        assert histogram.quantile(1.0) == 1024
+        assert histogram.quantile(0.0) == 0
+
+    def test_ring_series_overwrites_oldest(self):
+        ring = RingSeries(capacity=3)
+        for t in range(5):
+            ring.append(t, t * 10)
+        assert len(ring) == 3
+        assert ring.dropped == 2
+        assert ring.items() == [(2, 20), (3, 30), (4, 40)]
+
+    def test_registry_rejects_unknown_metric(self):
+        registry = MetricRegistry()
+        with pytest.raises(KeyError, match="not in the telemetry catalog"):
+            registry.get("made.up_metric", "h0")
+
+    def test_registry_instantiates_per_device(self):
+        registry = MetricRegistry()
+        a = registry.get("port.pause_tx", "h0")
+        b = registry.get("port.pause_tx", "h1")
+        assert a is not b
+        a.inc()
+        assert registry.snapshot_values() == {
+            "port.pause_tx|h0": 1,
+            "port.pause_tx|h1": 0,
+        }
+
+
+class TestCatalog:
+    def test_names_unique_and_indexed(self):
+        names = [spec.name for spec in CATALOG]
+        assert len(names) == len(set(names))
+        assert set(CATALOG_BY_NAME) == set(names)
+
+    def test_kinds_and_metadata_complete(self):
+        for spec in CATALOG:
+            assert spec.kind in ("counter", "gauge", "histogram"), spec.name
+            assert spec.unit, spec.name
+            assert spec.source.endswith(".py"), spec.name
+            assert spec.help, spec.name
+
+    def test_every_source_module_is_instrumented(self):
+        # The catalog's source attributions must point at real modules.
+        for spec in CATALOG:
+            path = os.path.join(REPO_ROOT, "src", "repro", spec.source)
+            assert os.path.exists(path), "%s names missing %s" % (
+                spec.name, spec.source)
+
+
+# -- 2. disabled-by-default purity (the telemetry-off bench guard) -----------
+
+
+class TestDisabledByDefault:
+    def test_hub_starts_dark(self):
+        assert HUB.enabled is False
+        assert HUB.session is None
+        assert HUB.armed is None
+
+    @pytest.mark.parametrize("name", ("single_flow", "incast_tor"))
+    def test_fingerprints_byte_identical_to_baseline(self, name):
+        baseline = load_baseline(BASELINE_PATH)
+        assert baseline is not None, "benchmarks/BASELINE.json missing"
+        run = SCENARIOS[name].run(seed=1)
+        recorded = baseline["scenarios"][name]
+        assert run.fingerprint == recorded["fingerprint"], (
+            "telemetry instrumentation perturbed scenario %r with the hub "
+            "disabled -- a hook is doing work outside its enabled guard"
+            % name
+        )
+        # Identical event counts: the disabled path must schedule nothing.
+        assert run.events == recorded["events"]
+        assert run.packets == recorded["packets"]
+
+    def test_arm_disarm_without_boot_is_clean(self):
+        telemetry.arm(telemetry.TelemetryConfig(label="never-attached"))
+        assert HUB.armed is not None
+        assert HUB.enabled is False  # arming alone must not enable hooks
+        telemetry.disarm()
+        assert HUB.armed is None
+        assert telemetry.drain() == []
+
+
+# -- 3. detector semantics on synthetic windows ------------------------------
+
+
+def _window(t_ns, devices, interval_ns=MS):
+    return {"t_ns": t_ns, "interval_ns": interval_ns, "devices": devices}
+
+
+def _host(pause_tx=0, paused_ns=0, tx_bytes=10**6, **extra):
+    values = {"is_host": True, "pause_tx": pause_tx,
+              "paused_ns": paused_ns, "tx_bytes": tx_bytes}
+    values.update(extra)
+    return values
+
+
+def _switch(pause_tx=0, ecn_marked=0, shared_in_use=0,
+            shared_size=1_000_000, **extra):
+    values = {"is_host": False, "pause_tx": pause_tx,
+              "ecn_marked": ecn_marked, "shared_in_use": shared_in_use,
+              "shared_size": shared_size}
+    values.update(extra)
+    return values
+
+
+class TestPauseStormDetector:
+    def test_fires_after_min_windows_and_closes(self):
+        detector = PauseStormDetector(DetectorThresholds())
+        # 2 pauses/ms = 2000/s, the empirical broken-NIC refresh rate.
+        detector.observe(_window(1 * MS, {"nic": _host(pause_tx=2)}))
+        assert detector.active_devices() == set()  # one window is not a storm
+        detector.observe(_window(2 * MS, {"nic": _host(pause_tx=3)}))
+        assert detector.active_devices() == {"nic"}
+        detector.observe(_window(3 * MS, {"nic": _host(pause_tx=0)}))
+        incidents = detector.finish(3 * MS)
+        assert len(incidents) == 1
+        incident = incidents[0]
+        assert incident.kind == "pause_storm"
+        assert incident.severity == "critical"  # host storms are critical
+        assert incident.end_ns == 3 * MS
+        assert incident.details["peak_rate_fps"] == pytest.approx(3000.0)
+        assert incident.details["windows"] == 2
+
+    def test_requires_consecutive_windows(self):
+        detector = PauseStormDetector(DetectorThresholds())
+        detector.observe(_window(1 * MS, {"nic": _host(pause_tx=2)}))
+        detector.observe(_window(2 * MS, {"nic": _host(pause_tx=0)}))
+        detector.observe(_window(3 * MS, {"nic": _host(pause_tx=2)}))
+        assert detector.finish(3 * MS) == []
+
+    def test_healthy_switch_backpressure_is_not_a_storm(self):
+        # clos_slice's leaf switches legitimately sustain up to ~180k
+        # pause/s from ordinary congestion; the switch threshold must not
+        # turn that into incidents.
+        detector = PauseStormDetector(DetectorThresholds())
+        for i in range(1, 6):
+            detector.observe(_window(i * MS, {"leaf": _switch(pause_tx=180)}))
+        assert detector.finish(5 * MS) == []
+
+    def test_still_open_incident_is_closed_by_finish(self):
+        detector = PauseStormDetector(DetectorThresholds())
+        detector.observe(_window(1 * MS, {"nic": _host(pause_tx=2)}))
+        detector.observe(_window(2 * MS, {"nic": _host(pause_tx=2)}))
+        incidents = detector.finish(2 * MS)
+        assert len(incidents) == 1
+        assert incidents[0].end_ns == 2 * MS
+
+
+class TestPausePropagationDetector:
+    CHAIN = {"nic": {"tor"}, "tor": {"nic", "leaf"},
+             "leaf": {"tor", "spine"}, "spine": {"leaf"}}
+
+    def _stack(self):
+        thresholds = DetectorThresholds()
+        storm = PauseStormDetector(thresholds)
+        return storm, PausePropagationDetector(thresholds, self.CHAIN, storm)
+
+    def test_depth_from_storm_origin(self):
+        storm, propagation = self._stack()
+        devices = {
+            "nic": _host(pause_tx=2, paused_ns=MS),
+            "tor": _switch(pause_tx=10, paused_ns=MS),
+            "leaf": _switch(pause_tx=10, paused_ns=MS),
+            "spine": _switch(pause_tx=10, paused_ns=MS),
+        }
+        for i in (1, 2, 3):
+            window = _window(i * MS, devices)
+            storm.observe(window)
+            propagation.observe(window)
+        incidents = propagation.finish(3 * MS)
+        assert len(incidents) == 1
+        assert incidents[0].device == "nic"
+        assert incidents[0].details["max_depth"] == 3  # tor -> leaf -> spine
+
+    def test_silent_without_a_storm_origin(self):
+        # Pause activity everywhere, but no device over its storm
+        # threshold: propagation must not attribute depth to healthy
+        # backpressure (the clos_slice false-positive class).
+        storm, propagation = self._stack()
+        devices = {
+            "nic": _host(pause_tx=0, paused_ns=MS // 2),
+            "tor": _switch(pause_tx=100, paused_ns=MS),
+            "leaf": _switch(pause_tx=100, paused_ns=MS),
+            "spine": _switch(pause_tx=100, paused_ns=MS),
+        }
+        for i in (1, 2, 3):
+            window = _window(i * MS, devices)
+            storm.observe(window)
+            propagation.observe(window)
+        assert propagation.finish(3 * MS) == []
+
+
+class TestVictimFlowDetector:
+    def _stack(self):
+        thresholds = DetectorThresholds()
+        storm = PauseStormDetector(thresholds)
+        return storm, VictimFlowDetector(thresholds, storm)
+
+    def test_starved_host_flagged_only_during_storm(self):
+        storm, victims = self._stack()
+        quiet = {
+            "origin": _host(pause_tx=0),
+            "bystander": _host(paused_ns=MS, tx_bytes=0),
+        }
+        window = _window(1 * MS, quiet)
+        storm.observe(window)
+        victims.observe(window)
+        assert victims.finish(1 * MS) == []  # paused but no storm: no victim
+
+        storm, victims = self._stack()
+        stormy = {
+            "origin": _host(pause_tx=2),
+            "bystander": _host(paused_ns=MS, tx_bytes=0),
+            "healthy": _host(paused_ns=0, tx_bytes=10**6),
+        }
+        for i in (1, 2, 3):
+            window = _window(i * MS, stormy)
+            storm.observe(window)
+            victims.observe(window)
+        incidents = victims.finish(3 * MS)
+        assert [i.device for i in incidents] == ["bystander"]
+        assert incidents[0].details["origins"] == ["origin"]
+        assert incidents[0].details["paused_fraction"] == pytest.approx(1.0)
+
+    def test_origin_is_never_its_own_victim(self):
+        storm, victims = self._stack()
+        devices = {"origin": _host(pause_tx=2, paused_ns=MS, tx_bytes=0)}
+        for i in (1, 2, 3):
+            window = _window(i * MS, devices)
+            storm.observe(window)
+            victims.observe(window)
+        assert victims.finish(3 * MS) == []
+
+
+class TestEcnAndWatermarkDetectors:
+    def test_ecn_rate_fires_after_sustained_windows(self):
+        detector = EcnMarkRateDetector(DetectorThresholds())
+        detector.observe(_window(1 * MS, {"tor": _switch(ecn_marked=300)}))
+        detector.observe(_window(2 * MS, {"tor": _switch(ecn_marked=400)}))
+        detector.observe(_window(3 * MS, {"tor": _switch(ecn_marked=0)}))
+        incidents = detector.finish(3 * MS)
+        assert len(incidents) == 1
+        assert incidents[0].kind == "ecn_mark_rate"
+        assert incidents[0].details["peak_rate_mps"] == pytest.approx(400000.0)
+
+    def test_ecn_single_window_spike_ignored(self):
+        detector = EcnMarkRateDetector(DetectorThresholds())
+        detector.observe(_window(1 * MS, {"tor": _switch(ecn_marked=900)}))
+        detector.observe(_window(2 * MS, {"tor": _switch(ecn_marked=0)}))
+        assert detector.finish(2 * MS) == []
+
+    def test_watermark_crossing(self):
+        detector = QueueWatermarkDetector(DetectorThresholds())
+        detector.observe(_window(1 * MS, {
+            "tor": _switch(shared_in_use=500_000)}))     # 50% -- below
+        detector.observe(_window(2 * MS, {
+            "tor": _switch(shared_in_use=800_000)}))     # 80% -- above
+        detector.observe(_window(3 * MS, {
+            "tor": _switch(shared_in_use=100_000)}))     # drained
+        incidents = detector.finish(3 * MS)
+        assert len(incidents) == 1
+        assert incidents[0].kind == "queue_watermark"
+        assert incidents[0].details["peak_fraction"] == pytest.approx(0.8)
+        assert incidents[0].start_ns == 2 * MS
+        assert incidents[0].end_ns == 3 * MS
+
+    def test_watermark_ignores_hosts(self):
+        detector = QueueWatermarkDetector(DetectorThresholds())
+        detector.observe(_window(1 * MS, {
+            "h0": _host(shared_in_use=999_999, shared_size=1_000_000)}))
+        assert detector.finish(1 * MS) == []
+
+
+# -- 4. end-to-end: storm fires, clos_slice silent, replay agrees ------------
+
+
+@pytest.fixture(scope="module")
+def storm_artifacts():
+    """The §4.3 storm experiment run once with telemetry armed.
+
+    Returns the drained record lists -- one per scenario leg (watchdogs
+    off, watchdogs on), each a full ``repro-telemetry/1`` artifact.
+    """
+    from repro.experiments.storm import run_storm
+
+    telemetry.arm(telemetry.TelemetryConfig(label="test-storm"))
+    try:
+        run_storm(seed=1)
+    finally:
+        telemetry.disarm()
+    artifacts = telemetry.drain()
+    assert artifacts, "storm run attached no telemetry session"
+    return artifacts
+
+
+def _incidents(records, kind=None):
+    return [r for r in records
+            if r.get("type") == "incident"
+            and (kind is None or r["kind"] == kind)]
+
+
+class TestStormEndToEnd:
+    def test_artifact_shape(self, storm_artifacts):
+        for records in storm_artifacts:
+            assert records[0]["type"] == "meta"
+            assert records[0]["schema"] == "repro-telemetry/1"
+            metric_records = [r for r in records if r["type"] == "metric"]
+            assert len(metric_records) == len(CATALOG)
+            assert any(r["type"] == "sample" for r in records)
+            assert records[-1]["type"] == "summary"
+            json.dumps(records)  # artifact must be JSON-serializable
+
+    def test_pause_storm_incident_fires_on_victim_nic(self, storm_artifacts):
+        storms = [i for records in storm_artifacts
+                  for i in _incidents(records, "pause_storm")]
+        assert storms, "storm experiment produced no pause_storm incident"
+        # The broken NIC is P0T0-S0's; every storm verdict must name it.
+        assert {i["device"] for i in storms} == {"P0T0-S0.nic"}
+        assert all(i["severity"] == "critical" for i in storms)
+
+    def test_hub_is_dark_after_drain(self, storm_artifacts):
+        assert HUB.enabled is False
+        assert HUB.session is None
+        assert HUB.completed == []
+
+    def test_offline_replay_reproduces_storm_verdicts(self, storm_artifacts):
+        for records in storm_artifacts:
+            online = {i["device"] for i in _incidents(records, "pause_storm")}
+            replayed = telemetry.replay_detectors(records)
+            offline = {i.device for i in replayed
+                       if i.kind == "pause_storm"}
+            assert offline == online
+
+    def test_cli_summarize_renders_incidents(self, storm_artifacts,
+                                             tmp_path, capsys):
+        path = str(tmp_path / "storm.telemetry.jsonl")
+        telemetry.write_jsonl(storm_artifacts[0], path)
+        assert telemetry_cli.main(["summarize", path]) == 0
+        out = capsys.readouterr().out
+        assert "pause_storm" in out
+        assert "P0T0-S0.nic" in out
+
+    def test_cli_export_csv_and_prometheus(self, storm_artifacts,
+                                           tmp_path, capsys):
+        path = str(tmp_path / "storm.telemetry.jsonl")
+        telemetry.write_jsonl(storm_artifacts[0], path)
+        csv_path = str(tmp_path / "storm.csv")
+        assert telemetry_cli.main(
+            ["export", path, "--format", "csv", "--out", csv_path]) == 0
+        with open(csv_path) as fh:
+            header = fh.readline().strip()
+        assert header == "t_ns,device,metric,value"
+        capsys.readouterr()
+        assert telemetry_cli.main(["export", path, "--format", "prom"]) == 0
+        prom = capsys.readouterr().out
+        assert "# TYPE repro_port_pause_tx counter" in prom
+        assert 'repro_incidents_total{kind="pause_storm"}' in prom
+
+    def test_cli_catalog_lists_every_metric(self, capsys):
+        assert telemetry_cli.main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        for spec in CATALOG:
+            assert spec.name in out
+
+
+class TestHealthyFabricStaysSilent:
+    def test_clos_slice_produces_no_incidents(self):
+        # The discriminator the thresholds were calibrated against: a
+        # saturated-but-healthy Clos slice (heavy switch backpressure,
+        # zero host pause generation) must not raise anything.
+        telemetry.arm(telemetry.TelemetryConfig(label="test-clos-slice"))
+        try:
+            SCENARIOS["clos_slice"].run(seed=1)
+        finally:
+            telemetry.disarm()
+        artifacts = telemetry.drain()
+        assert artifacts
+        incidents = [i for records in artifacts for i in _incidents(records)]
+        assert incidents == [], (
+            "healthy clos_slice raised incidents: %r"
+            % [(i["kind"], i["device"]) for i in incidents]
+        )
+
+
+class TestBenchTelemetryPass:
+    def test_collect_telemetry_annotates_and_writes(self, tmp_path):
+        scenarios = run_benchmarks(["single_flow"], seed=1, repeat=1)
+        out_dir = str(tmp_path / "artifacts")
+        collect_telemetry(scenarios, out_dir, seed=1)
+        block = scenarios["single_flow"]["telemetry"]
+        assert block["artifacts"], "instrumented pass wrote no artifact"
+        for path in block["artifacts"]:
+            records = telemetry.read_jsonl(path)
+            assert records[0]["type"] == "meta"
+            assert records[0]["label"] == "bench:single_flow"
+        assert block["incidents"] == 0  # single healthy flow
+        assert HUB.enabled is False and HUB.session is None
