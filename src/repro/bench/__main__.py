@@ -21,6 +21,7 @@ from repro.bench.harness import (
     write_baseline,
     write_report,
 )
+import repro.bench.scenarios as bench_scenarios
 from repro.bench.scenarios import SCENARIOS
 
 
@@ -34,7 +35,26 @@ def main(argv=None):
     parser.add_argument("--list", action="store_true", help="list scenarios and exit")
     parser.add_argument("--seed", type=int, default=1, help="scenario seed (default 1)")
     parser.add_argument(
-        "--repeat", type=int, default=3, help="timing repeats, best-of (default 3)"
+        "--repeat",
+        type=int,
+        default=None,
+        help="timing repeats, best-of (default: 5 when comparing against a "
+        "baseline, else 3 -- the comparison verdict needs the extra samples "
+        "to estimate run-to-run noise)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard count for the parallel scenarios (default: %d; see "
+        "docs/parallel.md -- fingerprints are worker-count invariant)"
+        % bench_scenarios.PARALLEL_WORKERS,
+    )
+    parser.add_argument(
+        "--no-warmup",
+        action="store_true",
+        help="skip the untimed warmup pass before each scenario's timing loop",
     )
     parser.add_argument(
         "--profile",
@@ -81,12 +101,24 @@ def main(argv=None):
             "unknown scenario(s) %s; try --list" % ", ".join(repr(n) for n in unknown)
         )
 
+    if args.workers is not None:
+        if args.workers < 1:
+            parser.error("--workers must be >= 1")
+        bench_scenarios.PARALLEL_WORKERS = args.workers
+
+    # Comparison verdicts quote run-to-run noise, so the comparing path
+    # defaults to more samples than a plain measurement or a baseline
+    # re-record does.
+    comparing = not args.write_baseline and load_baseline(args.baseline) is not None
+    repeat = args.repeat if args.repeat is not None else (5 if comparing else 3)
+
     scenarios = run_benchmarks(
         names,
         seed=args.seed,
-        repeat=args.repeat,
+        repeat=repeat,
         profile=args.profile,
         progress=lambda line: print(line, file=sys.stderr),
+        warmup=not args.no_warmup,
     )
 
     if args.telemetry:
@@ -103,7 +135,7 @@ def main(argv=None):
         return 0
 
     report = build_report(
-        scenarios, baseline=load_baseline(args.baseline), repeat=args.repeat
+        scenarios, baseline=load_baseline(args.baseline), repeat=repeat
     )
     if args.no_write:
         json.dump(report, sys.stdout, indent=2, sort_keys=True)
@@ -113,8 +145,10 @@ def main(argv=None):
         print("report written: %s" % args.out)
     for name, row in sorted(report["comparison"].items()):
         flag = "" if row["fingerprint_match"] else "  !! FINGERPRINT DRIFT"
+        if not flag and row.get("within_noise"):
+            flag = "  ~ within noise (spread %.1f%%)" % (row["noise"] * 100.0)
         print(
-            "%-14s %6.2fx vs baseline (%s -> %s events/s)%s"
+            "%-18s %6.2fx vs baseline (%s -> %s events/s)%s"
             % (
                 name,
                 row["speedup"],

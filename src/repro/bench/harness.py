@@ -78,8 +78,14 @@ def profile_scenario(name, seed=1):
     }
 
 
-def run_benchmarks(names=None, seed=1, repeat=3, profile=False, progress=None):
+def run_benchmarks(names=None, seed=1, repeat=3, profile=False, progress=None, warmup=True):
     """Time the named scenarios (all of them by default).
+
+    Each scenario gets one *untimed* warmup execution first (unless
+    ``warmup=False``): the first run pays allocator growth, lazy imports
+    and branch-predictor/cache cold starts that the steady-state runs do
+    not, and letting it into the sample was a reliable source of phantom
+    "regressions" on fingerprint-identical code.
 
     Returns the ``scenarios`` mapping of the report: per scenario, the
     counters, best-of-``repeat`` wall time, derived rates, fingerprint,
@@ -93,6 +99,8 @@ def run_benchmarks(names=None, seed=1, repeat=3, profile=False, progress=None):
             progress("%-14s %s ..." % (name, scenario.title))
         walls = []
         run = None
+        if warmup:
+            scenario.run(seed)
         for _ in range(max(1, repeat)):
             started = time.perf_counter()
             run = scenario.run(seed)
@@ -173,7 +181,15 @@ def load_baseline(path):
 
 
 def compare_to_baseline(scenarios, baseline):
-    """Per-scenario speedup and fingerprint agreement vs the baseline."""
+    """Per-scenario speedup and fingerprint agreement vs the baseline.
+
+    Each row also carries ``noise`` -- this run's relative wall-clock
+    spread, ``(max - min) / min`` over the timed repeats -- and
+    ``within_noise``: true when ``|speedup - 1|`` is smaller than that
+    spread.  A speedup inside the run's own jitter band is not evidence
+    of a regression (or an improvement); consumers should treat such
+    rows as "unchanged" rather than alerting on them.
+    """
     comparison = {}
     if not baseline:
         return comparison
@@ -182,9 +198,14 @@ def compare_to_baseline(scenarios, baseline):
         base = base_scenarios.get(name)
         if not base:
             continue
+        speedup = round(entry["events_per_sec"] / base["events_per_sec"], 3)
+        walls = entry.get("wall_s_all") or [entry["wall_s"]]
+        noise = round((max(walls) - min(walls)) / min(walls), 3)
         row = {
             "baseline_events_per_sec": base["events_per_sec"],
-            "speedup": round(entry["events_per_sec"] / base["events_per_sec"], 3),
+            "speedup": speedup,
+            "noise": noise,
+            "within_noise": abs(speedup - 1.0) <= noise,
             "fingerprint_match": entry["fingerprint"] == base["fingerprint"],
         }
         base_epp = base.get("events_per_packet")

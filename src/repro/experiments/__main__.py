@@ -32,7 +32,23 @@ def main(argv=None):
         help="collect fabric telemetry per experiment; writes "
         "<id>-<i>.telemetry.jsonl here (see docs/telemetry.md)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the fabric-scale packet-level runs across N worker "
+        "processes (space-parallel engine, docs/parallel.md); with "
+        "--telemetry-dir those runs fall back to serial",
+    )
     args = parser.parse_args(argv)
+
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    if args.workers > 1:
+        from repro.experiments import clos_throughput
+
+        clos_throughput.PACKET_CHECK_WORKERS = args.workers
 
     if args.list or (not args.which and not args.all):
         for entry in CATALOG.values():

@@ -144,10 +144,25 @@ def apply_ets_weights(fabric, weights, quantum_bytes=1600):
             port.scheduler = DwrrScheduler(weights=dict(weights), quantum_bytes=quantum_bytes)
 
 
-def saturate_pairs(sim, pairs, message_bytes, rng, qp_config_factory=None, dcqcn_config=None):
+def saturate_pairs(
+    sim,
+    pairs,
+    message_bytes,
+    rng,
+    qp_config_factory=None,
+    dcqcn_config=None,
+    start_filter=None,
+):
     """Start a closed-loop saturating sender on each (src, dst) pair.
 
-    Returns the list of :class:`ClosedLoopSender`.
+    ``start_filter(index, (src, dst))``, when given, gates which senders
+    actually start; construction (QP wiring, RNG draws) always covers
+    every pair.  The space-parallel runner leans on this split: each
+    shard replica must consume the RNG stream identically to the serial
+    run, then activate only the senders whose source host it owns.
+
+    Returns the list of :class:`ClosedLoopSender` (unstarted ones report
+    zero completed bytes).
     """
     from repro.dcqcn import enable_dcqcn
     from repro.rdma.qp import QpConfig
@@ -163,6 +178,7 @@ def saturate_pairs(sim, pairs, message_bytes, rng, qp_config_factory=None, dcqcn
             enable_dcqcn(qp_a, dcqcn_config)
         sender = ClosedLoopSender(RdmaChannel(qp_a), message_bytes)
         senders.append(sender)
-    for sender in senders:
-        sender.start()
+    for index, sender in enumerate(senders):
+        if start_filter is None or start_filter(index, pairs[index]):
+            sender.start()
     return senders

@@ -424,6 +424,29 @@ class Simulator:
         same-time events already in the queue).  Returns the Event."""
         return self.at(self._now, fn, *args)
 
+    def inject(self, time, fn, arg, vkey):
+        """Schedule ``fn(arg)`` at absolute ``time`` with an explicit
+        assignment key -- the external-frame entry point of the parallel
+        runner (:mod:`repro.sim.parallel`).
+
+        A frame crossing a shard boundary was, in the serial schedule,
+        a ``schedule1`` issued by the *sending* shard's transmit
+        dispatch; ``vkey`` is the packed key that call would have
+        stamped (sender's instant, then the sender's dispatcher
+        instant), shipped alongside the frame.  Injecting with that key
+        makes the delivery sort against the receiving shard's same-time
+        events exactly as it would have in one global engine, and every
+        event the delivery callback schedules derives its own key from
+        ``vkey``'s high field -- so ordering agreement propagates.
+        """
+        time = int(time)
+        if time < self._now:
+            raise SimulationError(
+                "cannot inject event at t=%d; clock is already at t=%d"
+                % (time, self._now)
+            )
+        return self._sched_fast(time - self._now, fn, arg, 1, vkey)
+
     # -- storage maintenance -------------------------------------------------
 
     def _compact(self):

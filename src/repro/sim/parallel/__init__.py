@@ -1,0 +1,29 @@
+"""Space-parallel packet simulation: sharded fabrics, conservative sync.
+
+Public surface:
+
+* :func:`~repro.sim.parallel.runner.run_parallel` -- run a topology
+  builder's fabric across N worker shards with lookahead-windowed
+  barrier synchronization; fingerprints are byte-identical to the
+  serial engine's.
+* :class:`~repro.sim.parallel.runner.ParallelResult` -- the merged
+  engine counters plus per-shard reports.
+* :class:`~repro.sim.parallel.runner.ShardHarness` -- one shard's
+  replica (exposed for the ``start``/``report`` callbacks and tests).
+* :class:`~repro.sim.parallel.runner.ParallelError` -- refusals and
+  worker failures.
+
+The partitioner lives with the topologies
+(:mod:`repro.topo.partition`); the per-frame capture machinery with the
+ports (:class:`repro.net.port.BoundaryProxy`).  See docs/parallel.md
+for the window math and the determinism contract.
+"""
+
+from repro.sim.parallel.runner import (
+    ParallelError,
+    ParallelResult,
+    ShardHarness,
+    run_parallel,
+)
+
+__all__ = ["ParallelError", "ParallelResult", "ShardHarness", "run_parallel"]

@@ -1,0 +1,68 @@
+"""Wire format for window-boundary frame batches.
+
+One barrier exchange ships one message per worker per direction, so the
+per-frame framing matters less than the per-message shape -- but keeping
+the numeric metadata out of pickle makes the common case (a batch of a
+few dozen frames) compact and cheap to route: the parent orchestrator
+can sort and re-batch on the decoded tuples without ever touching the
+packet payloads.
+
+A batch is::
+
+    [u32 n_frames] [n_frames * META] [pickle of the packet list]
+
+where ``META`` packs, per frame, little-endian:
+
+    ========  ======================================================
+    u64       arrival instant (ns) at the far end
+    u64       assignment-key high field (the transmit instant)
+    u64       assignment-key low field (the transmitter's dispatch key)
+    u32       link index into ``fabric.links``
+    u8        direction (0: ``port_a`` transmitted, 1: ``port_b`` did)
+    u32       origin sequence within the sending shard
+    ========  ======================================================
+
+The assignment key is split because the packed engine key
+(``instant << 48 | dispatcher``) overflows 64 bits; both fields are
+< 2**48 by construction (see ``repro.sim.engine._ATIME_SHIFT``).
+"""
+
+import pickle
+import struct
+
+from repro.sim.engine import _ATIME_SHIFT
+
+_COUNT = struct.Struct("<I")
+_META = struct.Struct("<QQQIBI")
+
+_KEY_MASK = (1 << _ATIME_SHIFT) - 1
+
+
+def encode_frames(frames):
+    """Serialize ``[(arrival, vkey, link_idx, direction, seq, packet)]``."""
+    parts = [_COUNT.pack(len(frames))]
+    packets = []
+    for arrival, vkey, link_idx, direction, seq, packet in frames:
+        parts.append(
+            _META.pack(
+                arrival, vkey >> _ATIME_SHIFT, vkey & _KEY_MASK, link_idx, direction, seq
+            )
+        )
+        packets.append(packet)
+    parts.append(pickle.dumps(packets, protocol=pickle.HIGHEST_PROTOCOL))
+    return b"".join(parts)
+
+
+def decode_frames(data):
+    """Inverse of :func:`encode_frames`."""
+    (count,) = _COUNT.unpack_from(data, 0)
+    offset = _COUNT.size
+    metas = []
+    for _ in range(count):
+        arrival, key_hi, key_lo, link_idx, direction, seq = _META.unpack_from(
+            data, offset
+        )
+        offset += _META.size
+        metas.append((arrival, (key_hi << _ATIME_SHIFT) | key_lo, link_idx, direction, seq))
+    packets = pickle.loads(data[offset:])
+    return [meta + (packet,) for meta, packet in zip(metas, packets)]

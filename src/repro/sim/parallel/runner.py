@@ -1,0 +1,439 @@
+"""Conservative (CMB-style) space-parallel execution of a fabric run.
+
+The serial engine is exact but single-core.  This runner splits the
+fabric into shards (:func:`repro.topo.partition.partition_fabric`), runs
+one *complete fabric replica* per shard -- each worker constructs the
+identical fabric and workload, then activates only its own hosts -- and
+synchronizes the shard simulators with barrier-delimited time windows
+sized to the minimum cut-link latency.
+
+Why full replicas instead of shard-local construction: every counter
+the reproduction fingerprints (MAC allocation, seeded RNG draws, ECMP
+seeds, QP numbers, the address directory) is a function of construction
+*order*.  Replicating construction keeps all of that byte-identical to
+the serial run for free; the inert remote devices cost memory but zero
+events, so per-shard event streams partition the serial stream exactly.
+
+The conservative synchronization argument, in one paragraph: let ``W``
+be the minimum propagation delay over all cut links.  A frame that
+starts crossing a cut at time ``t`` cannot arrive before ``t + W``
+(serialization only adds).  Workers run in lockstep windows and
+exchange captured frames at every barrier; consecutive barriers are at
+most ``W`` apart, so a frame sent anywhere in the window ending at
+barrier ``b`` arrives no earlier than ``b`` -- always in the receiving
+shard's future.  No shard can ever observe an effect before its cause,
+with zero rollbacks and no cross-worker event-order negotiation.
+
+Determinism (the fingerprint-identity contract): each crossing frame
+ships the packed assignment key the serial ``schedule1`` would have
+stamped on its delivery event; the receiving shard injects it with
+:meth:`repro.sim.engine.Simulator.inject`, so same-instant dispatch
+sorts exactly as the one global engine would.  At each barrier the
+orchestrator sorts injections by (arrival, assignment key, origin
+shard, origin seq) so even exact key collisions resolve identically on
+every run and any worker count.  ``tests/test_bench.py`` pins the
+resulting fingerprints against the serial baseline.
+
+Two executors: ``"process"`` forks one OS process per shard (the real
+speedup path; parent-mediated pipe exchange, one message per worker per
+barrier each way), and ``"inline"`` steps every shard in one process
+(no speedup -- the testable reference implementation of the same
+protocol, and the fallback where ``fork`` is unavailable).
+"""
+
+import multiprocessing
+import time as _time
+import traceback
+
+from repro.net.port import BoundaryProxy
+from repro.sim.parallel.codec import decode_frames, encode_frames
+from repro.topo.partition import partition_fabric
+
+_JOIN_TIMEOUT_S = 60.0
+
+
+class ParallelError(RuntimeError):
+    """A sharded run cannot proceed (or a worker failed)."""
+
+
+class ShardHarness:
+    """One shard's full fabric replica plus its boundary machinery.
+
+    Used identically by the forked worker processes and the inline
+    executor: install boundary proxies on the cut links, boot only the
+    local hosts, then alternate ``run_to(barrier)`` with
+    ``drain()``/``inject()`` under the orchestrator's schedule.
+    """
+
+    def __init__(self, topo, partition, shard):
+        self.topo = topo
+        self.fabric = topo.fabric
+        self.sim = self.fabric.sim
+        self.partition = partition
+        self.shard = shard
+        self.local_hosts = set(partition.hosts_in(shard))
+        self.outbox = []
+        seq_cell = [0]
+        self.proxies = []
+        for link_idx in partition.cut_links:
+            link = self.fabric.links[link_idx]
+            if link.loss_rate or link.fault_hook is not None:
+                # A lossy cut would consume the link's RNG stream in two
+                # replicas at once, in an order no longer matching the
+                # serial interleave of both directions' draws.
+                raise ParallelError(
+                    "cut link %s has loss/fault injection enabled; "
+                    "lossy or faulted links cannot sit on a shard "
+                    "boundary (run serially, or partition elsewhere)" % link.name
+                )
+            self.proxies.append(
+                BoundaryProxy(self.sim, link, link_idx, self.outbox, seq_cell)
+            )
+
+    def boot_local(self):
+        """Finalize the replica and announce only the shard's hosts.
+
+        Remote hosts stay dark: no gratuitous ARP, no NIC activity --
+        and any self-arming NIC watchdog poll is cancelled, so an inert
+        replica device contributes exactly zero events and per-shard
+        event counts sum to the serial total.  (ARP floods are confined
+        to server-facing ports, so boot traffic never crosses a cut.)
+        """
+        self.fabric.finalize()
+        for index, host in enumerate(self.fabric.hosts):
+            if index in self.local_hosts:
+                host.boot()
+            else:
+                watchdog = getattr(host.nic, "_watchdog", None)
+                if watchdog is not None and watchdog.armed:
+                    watchdog.cancel()
+
+    def run_to(self, until):
+        self.sim.run(until=until)
+
+    def drain(self):
+        """Frames captured since the last barrier, in transmit order."""
+        out = self.outbox[:]
+        del self.outbox[:]
+        return out
+
+    def inject(self, frames):
+        """Deliver cross-shard frames (already barrier-sorted) into this
+        replica at their exact serial arrival instants and keys."""
+        links = self.fabric.links
+        inject = self.sim.inject
+        for arrival, vkey, link_idx, direction, _seq, packet in frames:
+            link = links[link_idx]
+            port = link.port_b if direction == 0 else link.port_a
+            inject(arrival, port.deliver, packet, vkey)
+
+    def engine_counters(self):
+        return {
+            "events_fired": self.sim.events_fired,
+            "dispatches": self.sim.dispatches,
+            "now": self.sim.now,
+        }
+
+
+def _ops(settle_ns, duration_ns, window_ns, exchanging):
+    """The lockstep schedule every participant replays identically.
+
+    Yields ``("run", t)`` (advance to ``t``, inclusive), ``("exchange",)``
+    (barrier: ship outboxes, inject inboxes), ``("started",)`` (the
+    settle phase is over -- start the workload at exactly the instant
+    the serial run would) and ``("finished",)``.
+
+    Within a phase, barriers sit at ``start + k*window`` and at the
+    phase end, so consecutive exchange points -- across the phase seam
+    too -- are never more than one lookahead window apart, which is the
+    whole safety argument.  Each windowed stretch runs ``until b - 1``
+    (the integer-ns clock makes the half-open window exact), exchanges,
+    and the phase closes with an inclusive run to its end so events at
+    exactly the horizon fire just as the serial ``run(until=...)`` does.
+    """
+    phases = (
+        (0, settle_ns, ("started",)),
+        (settle_ns, settle_ns + duration_ns, ("finished",)),
+    )
+    for start, end, marker in phases:
+        if end > start:
+            if exchanging:
+                barrier = start + window_ns
+                while barrier < end:
+                    yield ("run", barrier - 1)
+                    yield ("exchange",)
+                    barrier += window_ns
+                yield ("run", end - 1)
+                yield ("exchange",)
+            yield ("run", end)
+        yield marker
+
+
+class ParallelResult:
+    """Merged outcome of a sharded run.
+
+    ``events``/``dispatches``/``sim_ns`` merge the per-shard engines
+    (each serial event fires in exactly one shard, so the sums equal
+    the serial counters); ``shard_reports`` holds each worker's report
+    dict (engine counters plus whatever the ``report`` callback added)
+    indexed by shard.
+    """
+
+    __slots__ = (
+        "workers",
+        "executor",
+        "partition",
+        "window_ns",
+        "exchanges",
+        "frames_crossed",
+        "events",
+        "dispatches",
+        "sim_ns",
+        "shard_reports",
+        "sync_wait_s",
+    )
+
+    def __init__(self, executor, partition, exchanges, frames_crossed, shard_reports):
+        self.workers = partition.n_shards
+        self.executor = executor
+        self.partition = partition
+        self.window_ns = partition.window_ns
+        self.exchanges = exchanges
+        self.frames_crossed = frames_crossed
+        self.shard_reports = shard_reports
+        self.events = sum(r["events_fired"] for r in shard_reports)
+        self.dispatches = sum(r["dispatches"] for r in shard_reports)
+        self.sim_ns = max(r["now"] for r in shard_reports)
+        self.sync_wait_s = max(
+            (r.get("sync_wait_s", 0.0) for r in shard_reports), default=0.0
+        )
+
+
+def _route(batches, dest_of):
+    """Parent-side barrier routing: merge every worker's outbox, bucket
+    by destination shard and apply the determinism sort."""
+    per_dest = {dest: [] for dest in set(dest_of.values())}
+    for origin_shard, frames in enumerate(batches):
+        for frame in frames:
+            # frame = (arrival, vkey, link_idx, direction, seq, packet)
+            per_dest[dest_of[(frame[2], frame[3])]].append((origin_shard, frame))
+    for dest, tagged in per_dest.items():
+        tagged.sort(key=lambda of: (of[1][0], of[1][1], of[0], of[1][4]))
+        per_dest[dest] = [frame for _origin, frame in tagged]
+    return per_dest
+
+
+def _dest_map(fabric, partition):
+    """(link index, direction) -> shard owning the receiving device."""
+    from repro.topo.partition import link_endpoints
+
+    dest = {}
+    for link_idx in partition.cut_links:
+        a_node, b_node = link_endpoints(fabric, fabric.links[link_idx])
+        dest[(link_idx, 0)] = partition.shard_of_node(b_node)
+        dest[(link_idx, 1)] = partition.shard_of_node(a_node)
+    return dest
+
+
+def _worker_main(conn, topo, partition, shard, seed, settle_ns, duration_ns, start, report):
+    """One forked worker: replay the op schedule against its replica,
+    exchanging boundary frames through the parent at every barrier."""
+    try:
+        harness = ShardHarness(topo, partition, shard)
+        harness.boot_local()
+        state = None
+        wait_s = 0.0
+        exchanging = bool(partition.cut_links)
+        for op in _ops(settle_ns, duration_ns, partition.window_ns, exchanging):
+            tag = op[0]
+            if tag == "run":
+                harness.run_to(op[1])
+            elif tag == "exchange":
+                conn.send_bytes(b"F" + encode_frames(harness.drain()))
+                blocked = _time.perf_counter()
+                data = conn.recv_bytes()
+                wait_s += _time.perf_counter() - blocked
+                harness.inject(decode_frames(data[1:]))
+            elif tag == "started":
+                if start is not None:
+                    state = start(harness.topo, seed, harness)
+            else:  # finished
+                result = harness.engine_counters()
+                result["sync_wait_s"] = round(wait_s, 4)
+                if report is not None:
+                    result.update(report(harness.topo, state, harness))
+                import pickle
+
+                conn.send_bytes(b"D" + pickle.dumps(result))
+    except BaseException:
+        try:
+            conn.send_bytes(b"E" + traceback.format_exc().encode())
+        finally:
+            raise
+
+
+def _run_process(build, partition, seed, settle_ns, duration_ns, start, report, parent_topo):
+    import pickle
+
+    ctx = multiprocessing.get_context("fork")
+    n = partition.n_shards
+    dest_of = _dest_map(parent_topo.fabric, partition)
+    conns, workers = [], []
+    for shard in range(n):
+        parent_end, child_end = ctx.Pipe()
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(child_end, parent_topo, partition, shard, seed, settle_ns, duration_ns, start, report),
+            name="repro-shard-%d" % shard,
+            daemon=True,
+        )
+        proc.start()
+        child_end.close()
+        conns.append(parent_end)
+        workers.append(proc)
+
+    exchanges = 0
+    frames_crossed = 0
+    reports = [None] * n
+
+    def _recv(conn, shard):
+        data = conn.recv_bytes()
+        tag = data[:1]
+        if tag == b"E":
+            raise ParallelError(
+                "shard %d worker failed:\n%s" % (shard, data[1:].decode())
+            )
+        return tag, data[1:]
+
+    try:
+        exchanging = bool(partition.cut_links)
+        for op in _ops(settle_ns, duration_ns, partition.window_ns, exchanging):
+            if op[0] == "exchange":
+                batches = []
+                for shard, conn in enumerate(conns):
+                    tag, payload = _recv(conn, shard)
+                    if tag != b"F":
+                        raise ParallelError(
+                            "shard %d desynchronized (got %r at a barrier)" % (shard, tag)
+                        )
+                    batches.append(decode_frames(payload))
+                per_dest = _route(batches, dest_of)
+                for dest, conn in enumerate(conns):
+                    batch = per_dest.get(dest, [])
+                    frames_crossed += len(batch)
+                    conn.send_bytes(b"F" + encode_frames(batch))
+                exchanges += 1
+        for shard, conn in enumerate(conns):
+            tag, payload = _recv(conn, shard)
+            if tag != b"D":
+                raise ParallelError("shard %d sent %r instead of its report" % (shard, tag))
+            reports[shard] = pickle.loads(payload)
+    finally:
+        for proc in workers:
+            proc.join(timeout=_JOIN_TIMEOUT_S)
+            if proc.is_alive():
+                proc.terminate()
+        for conn in conns:
+            conn.close()
+    for shard, proc in enumerate(workers):
+        if proc.exitcode not in (0, None) and reports[shard] is None:
+            raise ParallelError("shard %d exited with code %s" % (shard, proc.exitcode))
+    return ParallelResult("process", partition, exchanges, frames_crossed, reports)
+
+
+def _run_inline(build, partition, seed, settle_ns, duration_ns, start, report):
+    n = partition.n_shards
+    harnesses = [ShardHarness(build(seed), partition, shard) for shard in range(n)]
+    dest_of = _dest_map(harnesses[0].fabric, partition)
+    for harness in harnesses:
+        harness.boot_local()
+    states = [None] * n
+    exchanges = 0
+    frames_crossed = 0
+    exchanging = bool(partition.cut_links)
+    for op in _ops(settle_ns, duration_ns, partition.window_ns, exchanging):
+        tag = op[0]
+        if tag == "run":
+            for harness in harnesses:
+                harness.run_to(op[1])
+        elif tag == "exchange":
+            per_dest = _route([h.drain() for h in harnesses], dest_of)
+            for dest, harness in enumerate(harnesses):
+                batch = per_dest.get(dest, [])
+                frames_crossed += len(batch)
+                harness.inject(batch)
+            exchanges += 1
+        elif tag == "started":
+            if start is not None:
+                for shard, harness in enumerate(harnesses):
+                    states[shard] = start(harness.topo, seed, harness)
+    reports = []
+    for shard, harness in enumerate(harnesses):
+        result = harness.engine_counters()
+        if report is not None:
+            result.update(report(harness.topo, states[shard], harness))
+        reports.append(result)
+    return ParallelResult("inline", partition, exchanges, frames_crossed, reports)
+
+
+def run_parallel(
+    build,
+    n_workers,
+    duration_ns,
+    seed=1,
+    settle_ns=100_000,
+    start=None,
+    report=None,
+    executor="process",
+):
+    """Run ``build(seed)``'s fabric for ``duration_ns`` (after a
+    ``settle_ns`` boot-settle phase) across ``n_workers`` shards.
+
+    ``build(seed)``
+        Constructs and returns the topology (``.fabric`` attribute,
+        *unbooted*).  Called once per replica; must be deterministic.
+    ``start(topo, seed, harness)``
+        Invoked at the exact post-settle instant in every replica.  It
+        must perform the *full* workload construction (so RNG draws and
+        QP wiring match the serial run everywhere) but activate only
+        senders whose source host index is in ``harness.local_hosts``.
+        Its return value is threaded to ``report``.
+    ``report(topo, state, harness)``
+        Returns the shard's contribution to the merged result as a dict
+        (local counters only); merged engine counters come for free.
+
+    Telemetry is incompatible with sharded execution (a session would
+    observe one replica's slice); callers should fall back to the
+    serial path -- this function refuses an armed hub loudly.
+    """
+    from repro.telemetry.hooks import HUB
+
+    if HUB.armed is not None:
+        raise ParallelError(
+            "telemetry is armed; parallel execution would produce "
+            "half-instrumented artifacts -- use the serial path (see "
+            "docs/telemetry.md)"
+        )
+    if executor not in ("process", "inline"):
+        raise ParallelError("unknown executor %r" % (executor,))
+    topo = build(seed)
+    partition = partition_fabric(topo.fabric, n_workers)
+    # Validate boundary links up front, without touching the parent
+    # replica (workers install the actual proxies on their own copies).
+    for link_idx in partition.cut_links:
+        link = topo.fabric.links[link_idx]
+        if link.loss_rate or link.fault_hook is not None:
+            raise ParallelError(
+                "cut link %s has loss/fault injection enabled; lossy or "
+                "faulted links cannot sit on a shard boundary" % link.name
+            )
+    if executor == "process":
+        try:
+            multiprocessing.get_context("fork")
+        except ValueError:
+            executor = "inline"  # no fork on this platform; same protocol, serial
+    if executor == "process":
+        return _run_process(
+            build, partition, seed, settle_ns, duration_ns, start, report, topo
+        )
+    return _run_inline(build, partition, seed, settle_ns, duration_ns, start, report)

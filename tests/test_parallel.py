@@ -1,0 +1,317 @@
+"""The space-parallel engine: partitioner, codec, and the determinism
+contract (parallel fingerprints byte-identical to serial).
+
+The heavyweight fabric-scale pins (clos_pod at 2 and 4 workers against
+the checked-in baseline) live in ``tests/test_bench.py`` next to the
+serial pin; this suite covers the machinery on fabrics small enough to
+differential-test serially *and* sharded inside tier-1.
+
+Run alone with ``pytest -m parallel``.
+"""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import SeededRng
+from repro.sim.units import MB
+from repro.topo import single_switch, three_tier_clos, two_tier
+from repro.topo.partition import (
+    PartitionError,
+    link_endpoints,
+    partition_fabric,
+)
+
+pytestmark = pytest.mark.parallel
+
+DURATION_NS = 300_000
+
+
+def small_clos(seed):
+    """The smallest three-tier Clos with cross-podset traffic: cheap
+    enough to run serially and sharded inside one test."""
+    topo = three_tier_clos(
+        n_podsets=2,
+        tors_per_podset=2,
+        hosts_per_tor=2,
+        leaves_per_podset=2,
+        n_spines=2,
+        seed=seed,
+    )
+    for switch in topo.fabric.switches:
+        switch.ecmp_seed = zlib.crc32(switch.name.encode())
+    return topo
+
+
+def cross_pod_pairs(topo):
+    hosts = topo.hosts
+    half = len(hosts) // 2
+    pairs = [(hosts[i], hosts[half + i]) for i in range(half)]
+    pairs += [(hosts[half + i], hosts[i]) for i in range(half)]
+    return pairs
+
+
+def serial_fingerprint(duration_ns=DURATION_NS, seed=1):
+    """The serial reference tuple the parallel merges must reproduce."""
+    from repro.bench.scenarios import _link_counters, _switch_counters
+    from repro.experiments.common import saturate_pairs
+
+    topo = small_clos(seed).boot()
+    sim = topo.sim
+    rng = SeededRng(seed, "test/parallel")
+    senders = saturate_pairs(sim, cross_pod_pairs(topo), 1 * MB, rng)
+    sim.run(until=sim.now + duration_ns)
+    return (
+        sim.events_fired,
+        tuple(s.completed_bytes for s in senders),
+        topo.fabric.total_drops(),
+        _switch_counters(topo.fabric),
+        _link_counters(topo.fabric),
+    )
+
+
+def parallel_fingerprint(n_workers, executor, duration_ns=DURATION_NS, seed=1):
+    from repro.bench.scenarios import (
+        _link_counters,
+        _switch_counters,
+        _sum_tuples,
+    )
+    from repro.experiments.common import saturate_pairs
+    from repro.sim.parallel import run_parallel
+
+    def start(topo, seed, harness):
+        rng = SeededRng(seed, "test/parallel")
+        index_of = {id(h): i for i, h in enumerate(topo.fabric.hosts)}
+        return saturate_pairs(
+            topo.sim,
+            cross_pod_pairs(topo),
+            1 * MB,
+            rng,
+            start_filter=lambda _i, p: index_of[id(p[0])] in harness.local_hosts,
+        )
+
+    def report(topo, senders, harness):
+        return {
+            "completed": tuple(s.completed_bytes for s in senders),
+            "drops": topo.fabric.total_drops(),
+            "switches": _switch_counters(topo.fabric),
+            "links": _link_counters(topo.fabric),
+        }
+
+    result = run_parallel(
+        small_clos,
+        n_workers,
+        duration_ns=duration_ns,
+        seed=seed,
+        settle_ns=100_000,
+        start=start,
+        report=report,
+        executor=executor,
+    )
+    reports = result.shard_reports
+    return (
+        result.events,
+        _sum_tuples([r["completed"] for r in reports]),
+        sum(r["drops"] for r in reports),
+        _sum_tuples([r["switches"] for r in reports]),
+        _sum_tuples([r["links"] for r in reports]),
+    ), result
+
+
+# --- partitioner -------------------------------------------------------------
+
+
+class TestPartitioner:
+    @pytest.fixture(scope="class")
+    def pod_fabric(self):
+        return three_tier_clos(
+            n_podsets=2,
+            tors_per_podset=4,
+            hosts_per_tor=4,
+            leaves_per_podset=4,
+            n_spines=4,
+            seed=1,
+        ).fabric
+
+    def test_trivial_single_shard(self, pod_fabric):
+        part = partition_fabric(pod_fabric, 1)
+        assert part.n_shards == 1
+        assert part.cut_links == ()
+        assert part.window_ns is None
+        assert set(part.host_shard) == {0} and set(part.switch_shard) == {0}
+
+    def test_clos_pod_two_shards_balanced(self, pod_fabric):
+        part = partition_fabric(pod_fabric, 2)
+        assert part.n_shards == 2
+        # One podset per shard, spines split evenly between them.
+        assert [len(part.hosts_in(s)) for s in range(2)] == [16, 16]
+        assert [len(part.switches_in(s)) for s in range(2)] == [10, 10]
+        # Cuts ride the 300 m leaf<->spine tier.
+        assert part.window_ns == 1500
+        for link_idx in part.cut_links:
+            assert pod_fabric.links[link_idx].delay_ns >= part.window_ns
+
+    def test_clos_pod_four_shards(self, pod_fabric):
+        part = partition_fabric(pod_fabric, 4)
+        assert part.n_shards == 4
+        assert sorted(len(part.hosts_in(s)) for s in range(4)) == [0, 0, 16, 16]
+        assert part.window_ns == 1500
+
+    def test_deterministic(self, pod_fabric):
+        a = partition_fabric(pod_fabric, 2)
+        b = partition_fabric(pod_fabric, 2)
+        assert a.host_shard == b.host_shard
+        assert a.switch_shard == b.switch_shard
+        assert a.cut_links == b.cut_links
+
+    def test_single_switch_refuses(self):
+        fabric = single_switch(n_hosts=3, seed=1).fabric
+        with pytest.raises(PartitionError, match="no switch<->switch links"):
+            partition_fabric(fabric, 2)
+
+    def test_too_many_shards_refuses(self, pod_fabric):
+        with pytest.raises(PartitionError):
+            partition_fabric(pod_fabric, 10_000)
+
+
+@given(dims=st.fixed_dictionaries(
+    {
+        "n_tors": st.integers(1, 3),
+        "hosts_per_tor": st.integers(1, 3),
+        "n_leaves": st.integers(1, 3),
+    }
+), n_shards=st.integers(2, 4))
+@settings(max_examples=25, deadline=None)
+def test_partition_properties_on_random_fabrics(dims, n_shards):
+    """Over random two-tier fabrics: cut latency bounds the window,
+    hosts stay with their ToR, and every shard is internally connected."""
+    fabric = two_tier(seed=1, **dims).fabric
+    # Any two-tier fabric splits into at least 1 + n_leaves pieces when
+    # every ToR<->leaf link is cut, so feasibility is decidable up front.
+    max_pieces = dims["n_tors"] + dims["n_leaves"]
+    if n_shards > max_pieces:
+        with pytest.raises(PartitionError):
+            partition_fabric(fabric, n_shards)
+        return
+    part = partition_fabric(fabric, n_shards)
+
+    cut = set(part.cut_links)
+    nodes_of_shard = {s: set() for s in range(n_shards)}
+    for i, s in enumerate(part.host_shard):
+        nodes_of_shard[s].add(("h", i))
+    for j, s in enumerate(part.switch_shard):
+        nodes_of_shard[s].add(("s", j))
+
+    adjacency = {}
+    for link_idx, link in enumerate(fabric.links):
+        a, b = link_endpoints(fabric, link)
+        if link_idx in cut:
+            # Every cut is switch<->switch (hosts never leave their ToR)
+            # and at least one lookahead window away.
+            assert a[0] == "s" and b[0] == "s"
+            assert link.delay_ns >= part.window_ns
+            assert part.shard_of_node(a) != part.shard_of_node(b)
+        else:
+            assert part.shard_of_node(a) == part.shard_of_node(b)
+            adjacency.setdefault(a, []).append(b)
+            adjacency.setdefault(b, []).append(a)
+
+    for shard, members in nodes_of_shard.items():
+        if not members:
+            continue
+        seen = set()
+        queue = [min(members)]
+        seen.add(min(members))
+        while queue:
+            node = queue.pop()
+            for other in adjacency.get(node, ()):
+                if other not in seen:
+                    seen.add(other)
+                    queue.append(other)
+        assert seen == members, "shard %d is not connected" % shard
+
+
+# --- codec -------------------------------------------------------------------
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        from repro.sim.parallel.codec import decode_frames, encode_frames
+
+        frames = [
+            (0, 0, 0, 0, 0, ("p", 0)),
+            (123_456_789, (1 << 96) - 1, 7, 1, 42, ("p", 1)),
+            (2**48, ((2**48 - 1) << 48) | (2**48 - 1), 2**31, 0, 2**31, None),
+        ]
+        assert decode_frames(encode_frames(frames)) == frames
+
+    def test_empty_batch(self):
+        from repro.sim.parallel.codec import decode_frames, encode_frames
+
+        assert decode_frames(encode_frames([])) == []
+
+
+# --- determinism: parallel == serial -----------------------------------------
+
+
+class TestDeterminism:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return serial_fingerprint()
+
+    def test_inline_two_shards_matches_serial(self, serial):
+        fingerprint, result = parallel_fingerprint(2, "inline")
+        assert result.executor == "inline"
+        assert result.exchanges > 0
+        assert result.frames_crossed > 0
+        assert fingerprint == serial
+
+    def test_process_two_shards_matches_serial(self, serial):
+        fingerprint, result = parallel_fingerprint(2, "process")
+        # On fork-less platforms run_parallel degrades to inline -- the
+        # protocol (and therefore the fingerprint) is identical.
+        assert result.executor in ("process", "inline")
+        assert fingerprint == serial
+
+    def test_worker_count_invariance(self, serial):
+        fingerprint, _result = parallel_fingerprint(4, "inline")
+        assert fingerprint == serial
+
+
+# --- refusals ----------------------------------------------------------------
+
+
+class TestRefusals:
+    def test_telemetry_forces_serial(self):
+        from repro import telemetry
+        from repro.sim.parallel import ParallelError, run_parallel
+
+        telemetry.arm(telemetry.TelemetryConfig(label="test-parallel"))
+        try:
+            with pytest.raises(ParallelError, match="telemetry"):
+                run_parallel(small_clos, 2, duration_ns=1000)
+        finally:
+            telemetry.disarm()
+            telemetry.drain()
+
+    def test_lossy_cut_link_refused(self):
+        from repro.sim.parallel import ParallelError, run_parallel
+
+        def lossy_build(seed):
+            topo = small_clos(seed)
+            part = partition_fabric(topo.fabric, 2)
+            link = topo.fabric.links[part.cut_links[0]]
+            link._loss_rng = SeededRng(seed, "test/loss")
+            link.loss_rate = 0.01
+            return topo
+
+        with pytest.raises(ParallelError, match="loss"):
+            run_parallel(lossy_build, 2, duration_ns=1000)
+
+    def test_unknown_executor_refused(self):
+        from repro.sim.parallel import ParallelError, run_parallel
+
+        with pytest.raises(ParallelError, match="executor"):
+            run_parallel(small_clos, 2, duration_ns=1000, executor="threads")
