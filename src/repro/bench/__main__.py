@@ -16,6 +16,7 @@ import sys
 from repro.bench.harness import (
     build_report,
     collect_telemetry,
+    collect_traces,
     load_baseline,
     run_benchmarks,
     write_baseline,
@@ -66,6 +67,13 @@ def main(argv=None):
         metavar="DIR",
         help="also run each scenario once instrumented (untimed) and write "
         "telemetry artifacts to DIR (see docs/telemetry.md)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="DIR",
+        help="also run each scenario once with the causal tracing plane "
+        "armed (untimed) and write trace artifacts to DIR (see "
+        "docs/tracing.md)",
     )
     parser.add_argument(
         "--out",
@@ -125,6 +133,14 @@ def main(argv=None):
         collect_telemetry(
             scenarios,
             args.telemetry,
+            seed=args.seed,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+
+    if args.trace:
+        collect_traces(
+            scenarios,
+            args.trace,
             seed=args.seed,
             progress=lambda line: print(line, file=sys.stderr),
         )

@@ -172,6 +172,61 @@ def collect_telemetry(scenarios, out_dir, seed=1, progress=None):
     return scenarios
 
 
+def collect_traces(scenarios, out_dir, seed=1, progress=None, config=None):
+    """One extra *untimed* traced pass per already-benchmarked scenario.
+
+    The mirror of :func:`collect_telemetry` for the causal tracing
+    plane: arm the trace hub, re-run once, drain, write
+    ``<scenario>-<i>.trace.jsonl`` under ``out_dir``.  (Tracing itself
+    is fingerprint-neutral even while armed, but it is a memory-heavy
+    observer, so it stays out of the timing loop just like telemetry.)
+
+    Annotates each scenario entry with a ``trace`` block (artifact
+    paths + op/pause counts) and returns the mapping.  ``config`` is an
+    optional :class:`repro.tracing.TraceConfig` template whose sampling
+    fields are reused per scenario.
+    """
+    from repro import tracing
+
+    for name, entry in scenarios.items():
+        if config is not None:
+            scenario_config = tracing.TraceConfig(
+                label="bench:%s" % name,
+                sample_rate=config.sample_rate,
+                sample_seed=config.sample_seed,
+                max_ops=config.max_ops,
+                max_packets=config.max_packets,
+                packets_per_op=config.packets_per_op,
+            )
+        else:
+            scenario_config = tracing.TraceConfig(label="bench:%s" % name)
+        tracing.arm(scenario_config)
+        try:
+            SCENARIOS[name].run(seed)
+        finally:
+            tracing.disarm()
+        sessions = tracing.drain()
+        paths = tracing.write_artifacts(sessions, out_dir, name)
+        ops = completed = pauses = 0
+        for records in sessions:
+            summary = tracing.summary_of(records)
+            ops += summary.get("ops_traced", 0)
+            completed += summary.get("ops_completed", 0)
+            pauses += summary.get("pause_nodes", 0)
+        entry["trace"] = {
+            "artifacts": paths,
+            "ops": ops,
+            "ops_completed": completed,
+            "pause_nodes": pauses,
+        }
+        if progress:
+            progress(
+                "%-14s trace: %d artifact(s), %d op(s), %d pause episode(s)"
+                % (name, len(paths), ops, pauses)
+            )
+    return scenarios
+
+
 def load_baseline(path):
     """Load ``benchmarks/BASELINE.json``; returns None when absent."""
     if not path or not os.path.exists(path):

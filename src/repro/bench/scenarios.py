@@ -452,12 +452,14 @@ def clos_pod_parallel(seed):
     """
     from repro.sim.parallel import run_parallel
     from repro.telemetry.hooks import HUB
+    from repro.tracing.hooks import HUB as TRACE_HUB
 
-    if HUB.armed is not None:
+    if HUB.armed is not None or TRACE_HUB.armed is not None:
+        plane = "telemetry" if HUB.armed is not None else "tracing"
         print(
-            "clos_pod_parallel: telemetry armed -- forcing the serial "
+            "clos_pod_parallel: %s armed -- forcing the serial "
             "clos_pod path (sharded replicas cannot host one coherent "
-            "collection session; see docs/telemetry.md)"
+            "collection session; see docs/%s.md)" % (plane, plane)
         )
         return clos_pod(seed)
     result = run_parallel(

@@ -28,6 +28,7 @@ sent).  Counting events since the last CNP as ``T`` (timer) and ``B``
 from repro.sim.timer import Timer
 from repro.sim.units import MB, US
 from repro.telemetry.hooks import HUB as _TELEMETRY
+from repro.tracing.hooks import HUB as _TRACE
 
 
 class DcqcnConfig:
@@ -103,6 +104,8 @@ class ReactionPoint:
         self._rate_timer.start(config.rate_timer_ns)
         if _TELEMETRY.enabled:
             _TELEMETRY.session.on_rate_decrease(self)
+        if _TRACE.enabled:
+            _TRACE.session.on_rate_decrease(self)
 
     # -- quiet-period dynamics ------------------------------------------------------
 

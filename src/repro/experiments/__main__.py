@@ -33,6 +33,11 @@ def main(argv=None):
         "<id>-<i>.telemetry.jsonl here (see docs/telemetry.md)",
     )
     parser.add_argument(
+        "--trace-dir",
+        help="collect causal traces per experiment; writes "
+        "<id>-<i>.trace.jsonl here (see docs/tracing.md)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -82,6 +87,19 @@ def main(argv=None):
             paths = telemetry.write_artifacts(
                 sessions, args.telemetry_dir, exp_id.lower()
             )
+        elif args.trace_dir:
+            from repro import tracing
+
+            tracing.arm(tracing.TraceConfig(label=exp_id))
+            try:
+                result = runner()
+            finally:
+                tracing.disarm()
+            trace_sessions = tracing.drain()
+            trace_paths = tracing.write_artifacts(
+                trace_sessions, args.trace_dir, exp_id.lower()
+            )
+            sessions, paths = [], []
         else:
             sessions, paths = [], []
             result = runner()
@@ -92,6 +110,15 @@ def main(argv=None):
             print(
                 "telemetry: %d artifact(s), %d incident(s) -> %s"
                 % (len(paths), telemetry.incident_count(sessions), args.telemetry_dir)
+            )
+        if args.trace_dir and not args.telemetry_dir:
+            ops = sum(
+                tracing.summary_of(records).get("ops_traced", 0)
+                for records in trace_sessions
+            )
+            print(
+                "trace: %d artifact(s), %d op(s) -> %s"
+                % (len(trace_paths), ops, args.trace_dir)
             )
         if args.csv_dir:
             path = os.path.join(args.csv_dir, "%s.csv" % exp_id.lower())

@@ -85,18 +85,21 @@ def _packet_level_check(seed=1, duration_ns=4 * MS, workers=None):
 
     With ``workers`` > 1 the run is sharded across processes by
     :func:`repro.sim.parallel.run_parallel` -- same fabric, same
-    workload, merged counters (docs/parallel.md).  Telemetry forces the
-    serial path: a collection session cannot span shard replicas.
+    workload, merged counters (docs/parallel.md).  Telemetry and
+    tracing force the serial path: a collection session cannot span
+    shard replicas.
     """
     if workers is None:
         workers = PACKET_CHECK_WORKERS
     if workers > 1:
         from repro.telemetry.hooks import HUB
+        from repro.tracing.hooks import HUB as TRACE_HUB
 
-        if HUB.armed is not None:
+        if HUB.armed is not None or TRACE_HUB.armed is not None:
+            plane = "telemetry" if HUB.armed is not None else "tracing"
             print(
-                "E5 packet-level check: telemetry armed -- forcing the "
-                "serial path (see docs/telemetry.md)"
+                "E5 packet-level check: %s armed -- forcing the "
+                "serial path (see docs/%s.md)" % (plane, plane)
             )
         else:
             return _packet_level_check_parallel(seed, duration_ns, workers)

@@ -35,7 +35,12 @@ from repro.monitoring.config_mgmt import ConfigDrift, ConfigMonitor, DesiredConf
 from repro.monitoring.counters import CounterCollector
 from repro.monitoring.health import HealthTracker, ServerState
 from repro.monitoring.incidents import IncidentDetector, PauseStormIncident
-from repro.monitoring.pingmesh import Pingmesh, ProbeResult
+from repro.monitoring.pingmesh import (
+    Pingmesh,
+    ProbeResult,
+    read_probe_jsonl,
+    summarize_probe_records,
+)
 
 __all__ = [
     "DesiredConfig",
@@ -44,6 +49,8 @@ __all__ = [
     "CounterCollector",
     "Pingmesh",
     "ProbeResult",
+    "read_probe_jsonl",
+    "summarize_probe_records",
     "IncidentDetector",
     "PauseStormIncident",
     "HealthTracker",

@@ -16,7 +16,17 @@ simulated RDMA traffic that competes for queues and can itself be
 paused -- which is the point, since that is what makes probe failure a
 fabric-health signal.  A telemetry session attached to the same fabric
 will therefore see the probe traffic in its port counters.
+
+Probe logs export to JSONL (:meth:`Pingmesh.to_jsonl`) and summarize to
+the paper's operator view -- RTT p50/p90/p99/p999 plus the per-error-code
+breakdown (:meth:`Pingmesh.summary`, or offline via
+``python -m repro.tracing pingmesh PROBES.jsonl``).  When the causal
+tracing plane (:mod:`repro.tracing`) is armed, probe ops are traced like
+any other op, so a slow probe's RTT decomposes into the same
+queue/pause/serialization components as a real flow's FCT.
 """
+
+import json
 
 from repro.rdma.qp import QpConfig
 from repro.rdma.verbs import connect_qp_pair, post_send
@@ -41,6 +51,15 @@ class ProbeResult:
     @property
     def ok(self):
         return self.error is None
+
+    def as_record(self):
+        return {
+            "t_ns": self.t_ns,
+            "src": self.src,
+            "dst": self.dst,
+            "rtt_ns": self.rtt_ns,
+            "error": self.error,
+        }
 
     def __repr__(self):
         if self.ok:
@@ -139,3 +158,75 @@ class Pingmesh:
         if not rtts:
             return None
         return pct(rtts, percentile) / US
+
+    def error_breakdown(self):
+        """``{error_code: count}`` over the failed probes."""
+        counts = {}
+        for result in self.results:
+            if not result.ok:
+                counts[result.error] = counts.get(result.error, 0) + 1
+        return counts
+
+    def summary(self):
+        """The operator view: counts, error rate, RTT percentiles in us
+        (p50/p90/p99/p999 -- the paper's section 5.3 latency report) and
+        the per-error-code breakdown."""
+        return summarize_probe_records(r.as_record() for r in self.results)
+
+    def to_jsonl(self, path):
+        """Export the probe log as JSON Lines; returns the path.
+
+        One object per probe: ``{"t_ns", "src", "dst", "rtt_ns",
+        "error"}`` -- read back with :func:`read_probe_jsonl` or fed to
+        ``python -m repro.tracing pingmesh``.
+        """
+        with open(path, "w") as handle:
+            for result in self.results:
+                handle.write(json.dumps(result.as_record()) + "\n")
+        return path
+
+
+def read_probe_jsonl(path):
+    """Read an exported probe log back into a list of record dicts."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def summarize_probe_records(records):
+    """Summarize probe records (dicts or :class:`ProbeResult` logs read
+    back via :func:`read_probe_jsonl`).
+
+    Returns ``{"probes", "ok", "error_rate", "rtt_us": {"count", "p50",
+    "p90", "p99", "p999"}, "errors": {code: count}}``; the percentile
+    keys are None when no probe succeeded.
+    """
+    from repro.analysis.percentiles import percentile as pct
+
+    rtts = []
+    errors = {}
+    total = 0
+    for record in records:
+        total += 1
+        error = record.get("error")
+        if error is None:
+            rtts.append(record["rtt_ns"])
+        else:
+            errors[error] = errors.get(error, 0) + 1
+    failed = total - len(rtts)
+    rtt_us = {"count": len(rtts), "p50": None, "p90": None, "p99": None,
+              "p999": None}
+    if rtts:
+        for key, q in (("p50", 50), ("p90", 90), ("p99", 99), ("p999", 99.9)):
+            rtt_us[key] = pct(rtts, q) / US
+    return {
+        "probes": total,
+        "ok": len(rtts),
+        "error_rate": (failed / total) if total else 0.0,
+        "rtt_us": rtt_us,
+        "errors": errors,
+    }

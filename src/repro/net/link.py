@@ -15,6 +15,7 @@ A link joins exactly two ports.  Each direction models:
 """
 
 from repro.sim.units import propagation_delay_ns, serialization_delay_ns
+from repro.tracing.hooks import HUB as _TRACE
 
 
 class Link:
@@ -148,6 +149,8 @@ class Link:
         if serialization_ns is None:
             serialization_ns = serialization_delay_ns(wire_bytes, self.rate_bps)
             self._ser_ns[wire_bytes] = serialization_ns
+        if _TRACE.enabled:
+            _TRACE.session.on_wire(self, from_port, packet, serialization_ns)
         if not self.up:
             self.lost += 1
             return serialization_ns

@@ -24,6 +24,7 @@ from repro.sim.engine import _ATIME_SHIFT
 from repro.sim.timer import Timer
 from repro.sim.units import serialization_delay_ns
 from repro.telemetry.hooks import HUB as _TELEMETRY
+from repro.tracing.hooks import HUB as _TRACE
 
 #: Cap on how many frames one committed train may cover.  Bounds the
 #: worst-case cancellation work when a train is interrupted.
@@ -386,6 +387,8 @@ class Port:
         self._queue_bytes[priority] += nbytes
         self._total_packets += 1
         self._total_bytes += nbytes
+        if _TRACE.enabled:
+            _TRACE.session.on_port_enqueue(self, packet, priority)
         train = self._train
         if train is not None and priority > train.priority:
             # Strict priority would preempt the train after the frame now
@@ -438,6 +441,8 @@ class Port:
                 if _TELEMETRY.enabled:
                     _TELEMETRY.session.on_pause_rx(self, duration)
         self._sync_pause_accounting()
+        if _TRACE.enabled:
+            _TRACE.session.on_pause_rx_port(self, frame)
         if got_pause:
             self._arm_wake()
         else:
@@ -449,6 +454,8 @@ class Port:
         for priority in range(N_PRIORITIES):
             self._paused_until[priority] = self.sim.now
         self._sync_pause_accounting()
+        if _TRACE.enabled:
+            _TRACE.session.on_force_resume(self)
         self._try_send()
 
     def _sync_pause_accounting(self):

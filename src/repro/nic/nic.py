@@ -35,6 +35,7 @@ from repro.nic.mtt import MttCache
 from repro.sim.timer import Timer
 from repro.sim.units import KB, MS
 from repro.telemetry.hooks import HUB as _TELEMETRY
+from repro.tracing.hooks import HUB as _TRACE
 
 
 class NicWatchdogConfig:
@@ -220,9 +221,13 @@ class Nic(Device):
             # Receive buffer overrun: with working PFC this only happens
             # when pause generation has been watchdog-disabled.
             self.stats.rx_dropped_buffer += 1
+            if _TRACE.enabled:
+                _TRACE.session.on_nic_rx_drop(self, packet, "buffer")
             return
         self._rx_queue.append(packet)
         self._rx_bytes += packet.size_bytes
+        if _TRACE.enabled:
+            _TRACE.session.on_nic_rx(self, packet)
         self._check_xoff()
         self._process_next()
 
@@ -246,8 +251,13 @@ class Nic(Device):
         self._rx_bytes -= packet.size_bytes
         self.stats.rx_processed += 1
         self._check_xon()
+        traced = _TRACE.enabled
+        if traced:
+            _TRACE.session.on_nic_rx_done(self, packet)
         if self.rx_handler is not None:
             self.rx_handler(packet)
+        if traced:
+            _TRACE.session.on_nic_rx_dispatched(self)
         self._process_next()
 
     def _rx_vaddr(self, packet):
@@ -301,6 +311,8 @@ class Nic(Device):
         frame = PfcPauseFrame(
             {priority: quanta for priority in self.pfc_config.lossless_priorities}
         )
+        if _TRACE.enabled:
+            _TRACE.session.on_nic_pause_emit(self, frame, quanta)
         self.port.enqueue_control(
             Packet.pfc_pause(dst_mac=0x0180C2000001, src_mac=self.mac, pause=frame)
         )
@@ -311,6 +323,8 @@ class Nic(Device):
 
     def _send_resume_frame(self):
         frame = PfcPauseFrame.resume(sorted(self.pfc_config.lossless_priorities))
+        if _TRACE.enabled:
+            _TRACE.session.on_nic_resume_emit(self, frame)
         self.port.enqueue_control(
             Packet.pfc_pause(dst_mac=0x0180C2000001, src_mac=self.mac, pause=frame)
         )
@@ -340,6 +354,8 @@ class Nic(Device):
         self.watchdog_trips += 1
         if _TELEMETRY.enabled:
             _TELEMETRY.session.on_nic_watchdog(self)
+        if _TRACE.enabled:
+            _TRACE.session.on_nic_watchdog(self)
         self._pause_refresh.cancel()
         self._rx_paused_upstream = False
         # One final XON so the ToR port is not left paused for a full

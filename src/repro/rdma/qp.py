@@ -40,6 +40,7 @@ from repro.rdma.recovery import GoBackN
 from repro.sim.timer import Timer
 from repro.sim.units import SEC, US
 from repro.telemetry.hooks import HUB as _TELEMETRY
+from repro.tracing.hooks import HUB as _TRACE
 
 
 class TrafficClass:
@@ -302,15 +303,17 @@ class QueuePair:
             read_id = self._next_read_id
             self._next_read_id += 1
             self._pending_reads[read_id] = wr
-            self._enqueue_message(
-                _Message(_Message.READ_REQUEST, wr, self._total_end, 1, 0, read_id=read_id)
+            message = _Message(
+                _Message.READ_REQUEST, wr, self._total_end, 1, 0, read_id=read_id
             )
         else:
             n_packets = -(-wr.size_bytes // self.config.mtu_payload)
-            kind = _Message.DATA
-            self._enqueue_message(
-                _Message(kind, wr, self._total_end, n_packets, wr.size_bytes)
+            message = _Message(
+                _Message.DATA, wr, self._total_end, n_packets, wr.size_bytes
             )
+        self._enqueue_message(message)
+        if _TRACE.enabled:
+            _TRACE.session.on_post(self, wr, message)
         self.host.nic.notify_tx_ready()
         return wr
 
@@ -350,6 +353,10 @@ class QueuePair:
         if not self._can_send_data():
             return None, 0
         packet = self._build_data_packet(self.send_ptr)
+        if _TRACE.enabled:
+            _TRACE.session.on_data_tx(
+                self, packet, self.send_ptr, self.send_ptr < self.high_sent
+            )
         if self.send_ptr < self.high_sent:
             self.stats.retransmitted_packets += 1
             # A retransmitted probe would alias queueing with recovery.
@@ -492,6 +499,8 @@ class QueuePair:
         return packet, tc.priority if priority is None else priority
 
     def _queue_ctrl(self, packet, priority):
+        if _TRACE.enabled:
+            _TRACE.session.on_ctrl_created(self, packet)
         self._ctrl_queue.append((packet, priority))
         self.host.nic.notify_tx_ready()
 
@@ -687,6 +696,8 @@ class QueuePair:
         wr.completed_ns = self.sim.now
         self.stats.bytes_completed += wr.size_bytes
         self.stats.messages_completed += 1
+        if _TRACE.enabled:
+            _TRACE.session.on_cqe(self, wr)
         if wr.on_complete is not None:
             wr.on_complete(wr, self.sim.now)
 
@@ -701,6 +712,8 @@ class QueuePair:
         if self.una >= self.high_sent:
             return
         self.stats.timeouts += 1
+        if _TRACE.enabled:
+            _TRACE.session.on_rto(self)
         message = self._message_for(self.una)
         resume = self.config.recovery.resume_psn(self.una, message.start_psn)
         self.send_ptr = min(self.send_ptr, resume)

@@ -402,9 +402,10 @@ def run_parallel(
         Returns the shard's contribution to the merged result as a dict
         (local counters only); merged engine counters come for free.
 
-    Telemetry is incompatible with sharded execution (a session would
-    observe one replica's slice); callers should fall back to the
-    serial path -- this function refuses an armed hub loudly.
+    Telemetry and tracing are incompatible with sharded execution (a
+    session would observe one replica's slice); callers should fall
+    back to the serial path -- this function refuses an armed hub
+    loudly.
     """
     from repro.telemetry.hooks import HUB
 
@@ -413,6 +414,14 @@ def run_parallel(
             "telemetry is armed; parallel execution would produce "
             "half-instrumented artifacts -- use the serial path (see "
             "docs/telemetry.md)"
+        )
+    from repro.tracing.hooks import HUB as TRACE_HUB
+
+    if TRACE_HUB.armed is not None:
+        raise ParallelError(
+            "tracing is armed; parallel execution would produce "
+            "half-instrumented artifacts -- use the serial path (see "
+            "docs/tracing.md)"
         )
     if executor not in ("process", "inline"):
         raise ParallelError("unknown executor %r" % (executor,))

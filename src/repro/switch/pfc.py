@@ -11,6 +11,7 @@ from repro.packets.packet import Packet, PriorityMode
 from repro.packets.pause import MAX_QUANTA, PfcPauseFrame, pause_quanta_to_ns
 from repro.sim.timer import Timer
 from repro.telemetry.hooks import HUB as _TELEMETRY
+from repro.tracing.hooks import HUB as _TRACE
 
 
 class PfcConfig:
@@ -145,6 +146,8 @@ class PauseSignaler:
     def _send_pause(self):
         quanta = self.switch.pfc_config.pause_quanta
         frame = PfcPauseFrame({self.priority: quanta})
+        if _TRACE.enabled:
+            _TRACE.session.on_switch_pause_emit(self, frame)
         self._emit(frame)
         self.pauses_sent += 1
         if _TELEMETRY.enabled:
@@ -154,7 +157,10 @@ class PauseSignaler:
             self._refresh.start(max(1, duration // 2))
 
     def _send_resume(self):
-        self._emit(PfcPauseFrame.resume([self.priority]))
+        frame = PfcPauseFrame.resume([self.priority])
+        if _TRACE.enabled:
+            _TRACE.session.on_switch_resume_emit(self, frame)
+        self._emit(frame)
         self.resumes_sent += 1
         if _TELEMETRY.enabled:
             _TELEMETRY.session.on_pfc_resume(self.switch)

@@ -30,6 +30,7 @@ from repro.switch.forwarding import ForwardingTables
 from repro.switch.pfc import PauseSignaler, PfcConfig
 from repro.switch.watchdog import PortStormWatchdog, SwitchWatchdogConfig
 from repro.telemetry.hooks import HUB as _TELEMETRY
+from repro.tracing.hooks import HUB as _TRACE
 
 
 class _BufferClaim:
@@ -559,6 +560,8 @@ class Switch(Device):
         """Switch watchdog: disable lossless mode on ``port``."""
         if _TELEMETRY.enabled:
             _TELEMETRY.session.on_switch_watchdog(self, port)
+        if _TRACE.enabled:
+            _TRACE.session.on_switch_watchdog(self, port)
         self._uncoalesce_trains()
         self._lossless_disabled_ports.add(port.index)
         # Stop honouring the pause state the NIC already imposed.

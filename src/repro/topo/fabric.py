@@ -121,13 +121,19 @@ class Fabric:
         collection session attaches to this fabric here -- that is how
         the bench/campaign/validation/experiment CLIs opt whole runs
         into telemetry without threading flags through every runner.
-        With the hub disarmed (the default) this is a no-op.
+        The trace hub (``repro.tracing.arm``) attaches the same way.
+        With both hubs disarmed (the default) this is a no-op.
         """
         self.finalize()
         from repro.telemetry.hooks import HUB, maybe_attach
 
         if HUB.armed is not None:
             maybe_attach(self)
+        from repro.tracing.hooks import HUB as TRACE_HUB
+        from repro.tracing.hooks import maybe_attach as trace_attach
+
+        if TRACE_HUB.armed is not None:
+            trace_attach(self)
         for host in self.hosts:
             host.boot()
         self.sim.run(until=self.sim.now + settle_ns)

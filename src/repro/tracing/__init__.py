@@ -1,0 +1,92 @@
+"""repro.tracing -- the causal tracing plane (and packet capture).
+
+Two tools share this package:
+
+* The **causal tracing plane**: sampled life-of-an-op spans, latency
+  attribution with an exact-sum invariant, and pause-causality graphs
+  whose roots are the DCFIT-style initial triggers.  Arm it like
+  telemetry (``repro.tracing.arm()`` before ``Fabric.boot``, or
+  ``--trace`` on the bench/experiment CLIs), drain artifacts after the
+  run, and analyse online or via ``python -m repro.tracing``.
+  See docs/tracing.md.
+
+* The original **packet capture** (:class:`PacketTracer`), absorbed
+  from the old top-level ``repro/tracing.py`` module as
+  :mod:`repro.tracing.capture`.  The historical import surface is
+  preserved: ``from repro.tracing import PacketTracer, TraceRecord,
+  summarize`` keeps working.
+
+Quick start::
+
+    from repro import tracing
+
+    tracing.arm(tracing.TraceConfig(sample_rate=0.1, sample_seed=7))
+    fabric.boot()           # session auto-attaches
+    ... run ...
+    tracing.disarm()
+    for records in tracing.drain():
+        attributions = tracing.attribute_records(records)
+        dag = tracing.build_dag(records, attributions)
+
+The dark path is a single disabled-bool check per probe: with the hub
+unarmed every bench fingerprint in benchmarks/BASELINE.json stays
+byte-identical (CI's dark-path gate), and because a session schedules
+no events, fingerprints stay identical even while armed.
+"""
+
+from repro.tracing.capture import PacketTracer, TraceRecord, summarize
+from repro.tracing.hooks import HUB, TraceHub, arm, disarm, drain, maybe_attach
+from repro.tracing.session import TraceConfig, TraceSession
+from repro.tracing.attribution import (
+    COMPONENTS,
+    aggregate,
+    attribute_op,
+    attribute_records,
+    pause_intervals_from_records,
+    pause_overlap,
+)
+from repro.tracing.causality import StormDag, build_dag, render_text
+from repro.tracing.export import (
+    chrome_trace,
+    filter_window,
+    read_jsonl,
+    summary_of,
+    windows_from_telemetry,
+    write_artifacts,
+    write_jsonl,
+)
+
+__all__ = [
+    # packet capture (legacy surface)
+    "PacketTracer",
+    "TraceRecord",
+    "summarize",
+    # hub lifecycle
+    "HUB",
+    "TraceHub",
+    "arm",
+    "disarm",
+    "drain",
+    "maybe_attach",
+    "TraceConfig",
+    "TraceSession",
+    # attribution
+    "COMPONENTS",
+    "aggregate",
+    "attribute_op",
+    "attribute_records",
+    "pause_intervals_from_records",
+    "pause_overlap",
+    # causality
+    "StormDag",
+    "build_dag",
+    "render_text",
+    # artifacts
+    "chrome_trace",
+    "filter_window",
+    "read_jsonl",
+    "summary_of",
+    "windows_from_telemetry",
+    "write_artifacts",
+    "write_jsonl",
+]

@@ -14,17 +14,22 @@ and usable from tests to assert on wire-level behaviour.
 Records are plain dicts, cheap to filter and serialize.  Tracing is
 strictly observational: attaching never changes simulation behaviour.
 
-Tracing and :mod:`repro.telemetry` are the two granularities of the
-same observability story: the tracer captures *every frame* on chosen
-links (a packet capture -- exact but heavy, bounded by ``max_records``),
-while telemetry aggregates *counters* fabric-wide on a poll interval
-and runs incident detectors over them.  Triage typically starts from a
-telemetry incident ("pause_storm on P0T0-S0.nic at t=2ms") and drops
-down to a tracer attached around the implicated links to see the
-individual pause frames; docs/telemetry.md walks through exactly that.
-Note one behavioural difference: telemetry's poll timer does add events
-to the simulation schedule (changing determinism fingerprints), whereas
-an attached tracer never does.
+The tracer is one of four granularities of the same observability
+story (see ARCHITECTURE.md): telemetry aggregates *counters*
+fabric-wide on a poll interval and runs incident detectors over them;
+the causal tracing plane (:mod:`repro.tracing.session`) follows
+*sampled ops* end to end and attributes their latency; this module
+captures *every frame* on chosen links (a packet capture -- exact but
+heavy, bounded by ``max_records``); and pingmesh measures *end-to-end
+probe RTTs* from the outside.  Triage typically starts from a
+telemetry incident ("pause_storm on P0T0-S0.nic at t=2ms"), narrows to
+a trace window (``python -m repro.tracing export
+--window-from-telemetry``), and only then drops down to a tracer
+attached around the implicated links to see the individual pause
+frames; docs/telemetry.md and docs/tracing.md walk through exactly
+that.  Note one behavioural difference: telemetry's poll timer does
+add events to the simulation schedule (changing determinism
+fingerprints), whereas an attached tracer or trace session never does.
 """
 
 import json

@@ -1,0 +1,107 @@
+"""The global trace hub: the single is-enabled gate the hot paths check.
+
+This mirrors :mod:`repro.telemetry.hooks` exactly -- same lifecycle,
+same guarantees -- but for the *causal tracing plane*: per-op spans,
+per-packet hop events and pause-causality edges instead of aggregate
+counters.  Every instrumented module (``rdma/qp.py``, ``nic/nic.py``,
+``net/{port,link}.py``, ``switch/{pfc,switch}.py``, ``dcqcn/rp.py``)
+imports :data:`HUB` once at module load and guards each probe with one
+attribute test::
+
+    from repro.tracing.hooks import HUB as _TRACE
+    ...
+    if _TRACE.enabled:
+        _TRACE.session.on_port_enqueue(port, packet, priority)
+
+``HUB.enabled`` is a plain bool on a ``__slots__`` object, so the
+disabled path costs one load + one branch and nothing else: no event is
+scheduled, no RNG drawn, no packet field touched -- which is what keeps
+every bench fingerprint in ``benchmarks/BASELINE.json`` byte-identical
+with tracing off (asserted by ``tests/test_tracing.py`` and the CI
+dark-path gate).  Unlike telemetry, a trace session schedules *no*
+events of its own either, so fingerprints stay identical even while a
+session is attached.
+
+This module is deliberately import-light (stdlib only, no simulator or
+device imports) so the device layers can depend on it without cycles.
+The session machinery lives in the sibling modules and is only reached
+*through* the hub while a session is active.
+
+Lifecycle
+---------
+``enabled``/``session`` are set by :class:`~repro.tracing.session.
+TraceSession.start` and cleared by ``stop``.  ``armed`` holds a pending
+:class:`~repro.tracing.session.TraceConfig`: while set,
+:func:`maybe_attach` (called from ``Fabric.boot``) auto-attaches a new
+session to every fabric that boots -- that is how the bench and
+experiment CLIs opt whole runs into tracing without threading a flag
+through every runner.  Finished sessions accumulate in ``completed``
+until :func:`drain` collects their artifact lines.
+"""
+
+
+class TraceHub:
+    """Process-global mutable tracing state (one per interpreter)."""
+
+    __slots__ = ("enabled", "session", "armed", "completed")
+
+    def __init__(self):
+        self.enabled = False
+        self.session = None
+        self.armed = None
+        self.completed = []
+
+
+#: The one hub instance.  Hot paths alias it as ``_TRACE``.
+HUB = TraceHub()
+
+
+def arm(config=None):
+    """Arm auto-attach: every subsequent ``Fabric.boot()`` starts a
+    trace session on that fabric (closing the previous one first).
+    Pass a :class:`~repro.tracing.session.TraceConfig` to tune sampling
+    and caps; ``None`` uses defaults.  Returns the config.
+    """
+    from repro.tracing.session import TraceConfig
+
+    if config is None:
+        config = TraceConfig()
+    HUB.armed = config
+    return config
+
+
+def disarm():
+    """Stop auto-attaching; closes any live session into ``completed``."""
+    HUB.armed = None
+    if HUB.session is not None:
+        HUB.session.stop()
+
+
+def maybe_attach(fabric):
+    """Called by ``Fabric.boot``: attach a session when the hub is armed.
+
+    A still-open previous session (the armed CLIs run scenario after
+    scenario) is closed first so its artifact lands in ``completed``.
+    Returns the new session, or None when the hub is not armed.
+    """
+    if HUB.armed is None:
+        return None
+    if HUB.session is not None:
+        HUB.session.stop()
+    from repro.tracing.session import TraceSession
+
+    return TraceSession(fabric, HUB.armed).start()
+
+
+def drain():
+    """Collect and clear every finished session's artifact lines.
+
+    Closes the live session (if any) first.  Returns a list with one
+    entry per session, each a list of artifact record dicts in emission
+    order (meta line first).
+    """
+    if HUB.session is not None:
+        HUB.session.stop()
+    artifacts = [session.artifact_records() for session in HUB.completed]
+    HUB.completed = []
+    return artifacts

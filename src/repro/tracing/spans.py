@@ -1,0 +1,235 @@
+"""Span objects for the causal tracing plane.
+
+These are the in-memory side-table values a live
+:class:`~repro.tracing.session.TraceSession` keeps while a run is in
+flight, plus the serializers that turn them into the JSONL artifact
+records (schema ``repro-trace/1``) every offline surface -- attribution,
+causality, the CLI, the Chrome exporter -- consumes.
+
+Design constraints (see docs/tracing.md):
+
+* **No packet-field changes.**  Spans are keyed by ``id(packet)`` /
+  ``id(frame)`` in dicts holding *strong* references; packets are
+  single Python objects end to end (retransmissions are new objects,
+  so each transmission instance gets its own :class:`PacketTrace`).
+* **Timestamps only from the scheduler.**  Every event tuple records
+  ``sim.now`` at a hook site; attribution later decomposes an op's
+  completion time purely by differencing these timestamps, which is
+  what makes the exact-sum invariant possible.
+* **Compact events.**  Per-packet hop events are small tuples, not
+  objects -- a traced op touches every hop of every segment, so this is
+  the memory-bearing structure of the subsystem.
+
+Event tuple shapes (first element is the tag)::
+
+    ("tx",      t_ns, retransmit_flag)          # QP built a data packet
+    ("ctrl",    t_ns)                           # QP built an ACK/NAK/CNP
+    ("enq",     t_ns, port, device, priority)   # egress queue admit
+    ("wire",    t_ns, port, ser_ns, prop_ns)    # serialization start
+    ("nicrx",   t_ns, nic)                      # NIC rx-buffer admit
+    ("nicdone", t_ns)                           # NIC rx pipeline done
+    ("drop",    t_ns, device, reason)           # terminal loss
+"""
+
+
+class OpTrace:
+    """Life of one traced work request (WQE post -> CQE)."""
+
+    __slots__ = (
+        "wr_id",
+        "qp_name",
+        "qpn",
+        "host",
+        "kind",
+        "size_bytes",
+        "posted_ns",
+        "completed_ns",
+        "start_psn",
+        "end_psn",
+        "tx_count",
+        "retx_count",
+        "chain",
+        "packets",
+        "packets_dropped",
+    )
+
+    def __init__(self, wr_id, qp_name, qpn, host, kind, size_bytes,
+                 posted_ns, start_psn, end_psn):
+        self.wr_id = wr_id
+        self.qp_name = qp_name
+        self.qpn = qpn
+        self.host = host
+        self.kind = kind
+        self.size_bytes = size_bytes
+        self.posted_ns = posted_ns
+        self.completed_ns = None
+        self.start_psn = start_psn
+        self.end_psn = end_psn
+        self.tx_count = 0
+        self.retx_count = 0
+        #: completion chain, CQE-side first: [ack PacketTrace, data
+        #: PacketTrace] for SEND/WRITE, [response PacketTrace] for READ.
+        self.chain = ()
+        #: every PacketTrace of this op, in tx order (capped).
+        self.packets = []
+        self.packets_dropped = 0
+
+
+class PacketTrace:
+    """Hop-by-hop history of one transmission instance of one packet."""
+
+    __slots__ = ("kind", "psn", "first_tx_ns", "parent", "events")
+
+    def __init__(self, kind, psn=None, first_tx_ns=None, parent=None):
+        self.kind = kind
+        self.psn = psn
+        #: for data packets: first-ever tx time of this (qp, psn) --
+        #: differs from events[0] on retransmissions.
+        self.first_tx_ns = first_tx_ns
+        #: the PacketTrace whose rx dispatch created this packet
+        #: (e.g. the data segment an ACK acknowledges); None for data.
+        self.parent = parent
+        self.events = []
+
+
+class PauseNode:
+    """One pause *episode*: an XOFF assert plus its refreshes, until
+    resume.  Nodes are the vertices of the pause-causality DAG; a
+    ``causes`` edge points at the upstream episode whose pause was
+    stalling this device's egress when it crossed its own threshold."""
+
+    __slots__ = (
+        "node_id",
+        "device",
+        "port",
+        "device_kind",
+        "kind",
+        "trigger",
+        "priority",
+        "start_ns",
+        "end_ns",
+        "emissions",
+        "occupancy",
+        "threshold",
+        "causes",
+    )
+
+    def __init__(self, node_id, device, port, device_kind, kind, trigger,
+                 priority, start_ns, occupancy, threshold):
+        self.node_id = node_id
+        self.device = device
+        self.port = port
+        self.device_kind = device_kind          # "switch" | "nic"
+        self.kind = kind                        # "switch-pg" | "nic-rx"
+        self.trigger = trigger                  # what crossed: see session
+        self.priority = priority                # int, or None for NIC all-PG
+        self.start_ns = start_ns
+        self.end_ns = None                      # None while open
+        self.emissions = 1                      # assert + refresh count
+        self.occupancy = occupancy              # bytes at first assert
+        self.threshold = threshold              # XOFF threshold crossed
+        self.causes = set()                     # upstream node_ids
+
+    def as_record(self):
+        return {
+            "type": "pause_node",
+            "id": self.node_id,
+            "device": self.device,
+            "port": self.port,
+            "device_kind": self.device_kind,
+            "kind": self.kind,
+            "trigger": self.trigger,
+            "priority": self.priority,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+            "emissions": self.emissions,
+            "occupancy_bytes": self.occupancy,
+            "threshold_bytes": self.threshold,
+            "causes": sorted(self.causes),
+        }
+
+
+def packet_record(trace):
+    """Serialize a PacketTrace (events as lists, parent elided -- chains
+    serialize parents as separate chain entries)."""
+    record = {
+        "kind": trace.kind,
+        "events": [list(event) for event in trace.events],
+    }
+    if trace.psn is not None:
+        record["psn"] = trace.psn
+    if trace.first_tx_ns is not None:
+        record["first_tx_ns"] = trace.first_tx_ns
+    return record
+
+
+def op_record(op):
+    """Serialize an OpTrace into its artifact line."""
+    return {
+        "type": "op",
+        "wr_id": op.wr_id,
+        "qp": op.qp_name,
+        "qpn": op.qpn,
+        "host": op.host,
+        "kind": op.kind,
+        "size_bytes": op.size_bytes,
+        "posted_ns": op.posted_ns,
+        "completed_ns": op.completed_ns,
+        "start_psn": op.start_psn,
+        "end_psn": op.end_psn,
+        "tx_count": op.tx_count,
+        "retx_count": op.retx_count,
+        "chain": [packet_record(trace) for trace in op.chain],
+        "packets": [packet_record(trace) for trace in op.packets],
+        "packets_dropped": op.packets_dropped,
+    }
+
+
+def merge_pause_timeline(timeline):
+    """Reconstruct closed pause intervals from raw pause-wire events.
+
+    ``timeline`` holds ``(t_ns, port, device, device_kind, priority,
+    deadline_ns)`` tuples in time order, one per priority per received
+    pause/resume frame (``deadline_ns <= t_ns`` encodes a resume).  The
+    port model *overwrites* its deadline on every frame (``Port.
+    receive_pause``), so a refresh with a shorter quanta shortens the
+    interval -- this merge mirrors that semantic exactly, which is what
+    attribution's pause-overlap arithmetic relies on.
+
+    Returns ``{(port, priority): [(start_ns, end_ns), ...]}`` with
+    non-overlapping, time-ordered intervals, plus per-key device info
+    in a second dict ``{(port, priority): (device, device_kind)}``.
+    """
+    events = {}
+    info = {}
+    for t_ns, port, device, device_kind, priority, deadline_ns in timeline:
+        key = (port, priority)
+        events.setdefault(key, []).append((t_ns, deadline_ns))
+        info[key] = (device, device_kind)
+    intervals = {}
+    for key, series in events.items():
+        out = []
+        start = end = None
+        for t_ns, deadline_ns in series:
+            if deadline_ns <= t_ns:
+                # resume (or zero-quanta frame): close any open interval
+                if start is not None:
+                    closed = min(end, t_ns)
+                    if closed > start:
+                        out.append((start, closed))
+                    start = end = None
+                continue
+            if start is None:
+                start, end = t_ns, deadline_ns
+            elif t_ns > end:
+                # previous pause expired untouched before this one
+                out.append((start, end))
+                start, end = t_ns, deadline_ns
+            else:
+                # refresh: the port overwrites its deadline
+                end = deadline_ns
+        if start is not None and end > start:
+            out.append((start, end))
+        if out:
+            intervals[key] = out
+    return intervals, info

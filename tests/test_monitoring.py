@@ -8,7 +8,10 @@ from repro.monitoring import (
     DesiredConfig,
     IncidentDetector,
     Pingmesh,
+    read_probe_jsonl,
+    summarize_probe_records,
 )
+from repro.monitoring.pingmesh import ProbeResult
 from repro.packets.packet import PriorityMode
 from repro.rdma import connect_qp_pair, post_send
 from repro.sim import SeededRng
@@ -119,6 +122,146 @@ class TestPingmesh:
         pingmesh.start()
         topo.sim.run(until=topo.sim.now + 10 * MS)
         assert pingmesh.error_rate() > 0.5
+
+
+class TestPingmeshSummary:
+    """The operator view: percentiles, error breakdown, JSONL export."""
+
+    def _results(self):
+        results = [
+            ProbeResult(t_ns=i * 1000, src="H0", dst="H1", rtt_ns=(i + 1) * 1000)
+            for i in range(9)
+        ]
+        results.append(ProbeResult(t_ns=99, src="H0", dst="H2", error="timeout"))
+        results.append(ProbeResult(t_ns=100, src="H0", dst="H2", error="timeout"))
+        results.append(ProbeResult(t_ns=101, src="H0", dst="H3", error="rnr_nak"))
+        return results
+
+    def _pingmesh(self):
+        pingmesh = Pingmesh.__new__(Pingmesh)
+        pingmesh.results = self._results()
+        return pingmesh
+
+    def test_summary_shape_and_percentiles(self):
+        summary = self._pingmesh().summary()
+        assert summary["probes"] == 12
+        assert summary["ok"] == 9
+        assert summary["error_rate"] == pytest.approx(3 / 12)
+        rtt = summary["rtt_us"]
+        # 1..9 us samples: p50 interpolates to 5 us exactly.
+        assert rtt["count"] == 9
+        assert rtt["p50"] == pytest.approx(5.0)
+        assert rtt["p90"] <= rtt["p99"] <= rtt["p999"] <= 9.0
+
+    def test_error_breakdown(self):
+        breakdown = self._pingmesh().error_breakdown()
+        assert breakdown == {"timeout": 2, "rnr_nak": 1}
+
+    def test_jsonl_round_trip(self, tmp_path):
+        pingmesh = self._pingmesh()
+        path = pingmesh.to_jsonl(str(tmp_path / "probes.jsonl"))
+        records = read_probe_jsonl(path)
+        assert len(records) == len(pingmesh.results)
+        assert records[0] == pingmesh.results[0].as_record()
+        # Offline summary of the export matches the online view.
+        assert summarize_probe_records(records) == pingmesh.summary()
+
+    def test_empty_summary(self):
+        summary = summarize_probe_records([])
+        assert summary["probes"] == 0
+        assert summary["error_rate"] == 0.0
+        assert summary["rtt_us"]["p50"] is None
+
+    def test_all_failed_summary(self):
+        summary = summarize_probe_records(
+            [{"t_ns": 0, "src": "a", "dst": "b", "rtt_ns": None,
+              "error": "timeout"}]
+        )
+        assert summary["error_rate"] == 1.0
+        assert summary["rtt_us"]["count"] == 0
+
+    def test_live_run_summary(self):
+        topo = single_switch(n_hosts=2).boot()
+        pingmesh = Pingmesh(topo.sim, SeededRng(2, "pm"), interval_ns=1 * MS)
+        pingmesh.add_pair(topo.hosts[0], topo.hosts[1])
+        pingmesh.start()
+        topo.sim.run(until=topo.sim.now + 10 * MS)
+        pingmesh.stop()
+        summary = pingmesh.summary()
+        assert summary["ok"] == len(pingmesh.rtts_ns())
+        assert summary["rtt_us"]["p50"] == pytest.approx(
+            pingmesh.rtt_percentile_us(50)
+        )
+
+
+class _StubSnapshot:
+    def __init__(self, device, t_ns, values):
+        self.device = device
+        self.t_ns = t_ns
+        self.values = values
+
+
+class _StubCollector:
+    """Minimal CounterCollector stand-in: canned rate series."""
+
+    def __init__(self, rates, server_devices=()):
+        # rates: {device: [(t_ns, delta), ...]} applied to both metrics
+        self._rates = rates
+        self.snapshots = [
+            _StubSnapshot(
+                device,
+                series[-1][0],
+                {"rx_processed": 0} if device in server_devices else {},
+            )
+            for device, series in rates.items()
+        ]
+
+    def devices(self):
+        return sorted(self._rates)
+
+    def rate_series(self, device, metric):
+        return self._rates[device]
+
+
+class TestIncidentDetectorWindows:
+    def test_window_boundaries_and_peak(self):
+        collector = _StubCollector(
+            {"T0": [(1, 0), (2, 9), (3, 12), (4, 0), (5, 0)]}
+        )
+        detector = IncidentDetector(collector, pause_rate_threshold=5)
+        storms = detector.pause_storms()
+        assert len(storms) == 1
+        storm = storms[0]
+        assert (storm.start_ns, storm.end_ns) == (2, 4)
+        assert storm.peak_rate == 12
+        assert storm.metric == "pause_rx"
+
+    def test_still_open_storm_closes_at_last_snapshot(self):
+        collector = _StubCollector({"T0": [(1, 0), (2, 9), (3, 9)]})
+        detector = IncidentDetector(collector, pause_rate_threshold=5)
+        (storm,) = detector.pause_storms()
+        assert storm.end_ns == 3
+
+    def test_trace_origin_prefers_servers_over_switches(self):
+        # The paper's diagnosis: switches relay and amplify pauses, so a
+        # storming *server* is the origin even when a switch peaks higher.
+        collector = _StubCollector(
+            {
+                "T0": [(1, 50), (2, 50)],
+                "H0": [(1, 10), (2, 10)],
+            },
+            server_devices={"H0"},
+        )
+        detector = IncidentDetector(collector, pause_rate_threshold=5)
+        assert detector.trace_origin() == "H0"
+
+    def test_trace_origin_falls_back_to_peak_switch(self):
+        collector = _StubCollector(
+            {"T0": [(1, 50)], "T1": [(1, 80)], "H0": [(1, 0)]},
+            server_devices={"H0"},
+        )
+        detector = IncidentDetector(collector, pause_rate_threshold=5)
+        assert detector.trace_origin() == "T1"
 
 
 class TestIncidentDetector:
